@@ -1,0 +1,60 @@
+//! # flowlut-baselines — related-work flow tables
+//!
+//! The paper positions its DDR3 Hash-CAM scheme against the hash-table
+//! families of its related-work section. This crate implements each of
+//! them behind one [`FlowTable`] trait, instrumented with **memory-probe
+//! counters** — the metric that decides DDR3 suitability, because every
+//! bucket probe is a DRAM burst with row-cycle and turnaround cost:
+//!
+//! * [`SingleHashTable`] — one hash function, K-entry buckets (the
+//!   "conventional single hash methods" with higher collision rates);
+//! * [`DLeftTable`] — multi-choice / balanced-allocations hashing
+//!   (Azar et al., the paper's reference \[6\]);
+//! * [`CuckooTable`] — two-function cuckoo hashing with kick-out
+//!   insertion (Thinh et al., \[7\]): O(1) lookups but nondeterministic
+//!   build time, which the paper calls out as its drawback;
+//! * [`OneMoveTable`] — Kirsch & Mitzenmacher's single-move multiple-
+//!   choice table with a small overflow CAM (\[9\]);
+//! * [`BloomCamTable`] — Li's collision-free hash via Bloom-filter
+//!   occupancy summary plus CAM (\[8\]);
+//! * [`SimultaneousHashCam`] — the *conventional* Hash-CAM that queries
+//!   the CAM and both hash memories at once: the ablation baseline for
+//!   the paper's early-exit pipeline (it always pays two memory reads
+//!   per lookup);
+//! * [`bloom`] — standard, counting and parallel Bloom filters (\[2–5\])
+//!   with false-positive measurement, as membership-only comparators.
+//!
+//! ## Example
+//!
+//! ```
+//! use flowlut_baselines::{CuckooTable, FlowTable};
+//! use flowlut_traffic::{FiveTuple, FlowKey};
+//!
+//! let mut t = CuckooTable::new(1024, 4, 500, 7);
+//! let key = FlowKey::from(FiveTuple::from_index(1));
+//! t.insert(key)?;
+//! assert!(t.contains(&key));
+//! println!("{} probes so far", t.op_stats().mem_reads);
+//! # Ok::<(), flowlut_baselines::BaselineFullError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bloom;
+mod bloom_cam;
+mod cuckoo;
+mod dleft;
+mod one_move;
+mod simul;
+mod single;
+mod traits;
+
+pub use bloom_cam::BloomCamTable;
+pub use cuckoo::CuckooTable;
+pub use dleft::DLeftTable;
+pub use one_move::OneMoveTable;
+pub use simul::SimultaneousHashCam;
+pub use single::SingleHashTable;
+pub use traits::{BaselineFullError, FlowTable, OpStats};

@@ -1,0 +1,242 @@
+//! Kirsch–Mitzenmacher "power of one move" hashing.
+
+use flowlut_cam::Cam;
+use flowlut_hash::{H3Hash, HashFunction};
+use flowlut_traffic::FlowKey;
+
+use crate::traits::{BaselineFullError, FlowTable, OpStats};
+
+/// The single-move multiple-choice hash table of the paper's reference
+/// \[9\] (Kirsch & Mitzenmacher, "The Power of One Move: Hashing Schemes
+/// for Hardware").
+///
+/// Insertion tries the key's `d` candidate buckets; if all are full it
+/// attempts **exactly one** relocation — moving one resident of a
+/// candidate bucket to one of *its* alternate buckets — before falling
+/// back to a small overflow CAM (64 entries in \[9\]). The paper's
+/// concern, "the additional move during insertion is impractical for
+/// high speed requirements", is measurable here via
+/// [`OpStats::relocations`] and the extra reads/writes moves cost.
+#[derive(Debug)]
+pub struct OneMoveTable {
+    hashes: Vec<H3Hash>,
+    tables: Vec<Vec<Vec<Option<FlowKey>>>>,
+    k: usize,
+    cam: Cam<FlowKey>,
+    len: usize,
+    stats: OpStats,
+}
+
+impl OneMoveTable {
+    /// Creates a table with `d` choices, `buckets_per_table` buckets of
+    /// `k` slots each, and a `cam_capacity`-entry overflow list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(d: usize, buckets_per_table: u32, k: usize, cam_capacity: usize, seed: u64) -> Self {
+        assert!(d > 0 && buckets_per_table > 0 && k > 0 && cam_capacity > 0);
+        OneMoveTable {
+            hashes: (0..d)
+                .map(|i| {
+                    H3Hash::with_seed(8 * flowlut_traffic::MAX_KEY_BYTES, seed ^ (0x100 + i as u64))
+                })
+                .collect(),
+            tables: (0..d)
+                .map(|_| (0..buckets_per_table).map(|_| vec![None; k]).collect())
+                .collect(),
+            k,
+            cam: Cam::new(cam_capacity),
+            len: 0,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn bucket_of(&self, table: usize, key: &FlowKey) -> usize {
+        self.hashes[table].bucket(key.as_bytes(), self.tables[table].len() as u32) as usize
+    }
+
+    /// Entries currently in the overflow CAM.
+    pub fn cam_len(&self) -> usize {
+        self.cam.len()
+    }
+
+    fn try_direct_insert(&mut self, key: &FlowKey) -> Option<()> {
+        for t in 0..self.hashes.len() {
+            let b = self.bucket_of(t, key);
+            if let Some(slot) = self.tables[t][b].iter().position(|s| s.is_none()) {
+                self.tables[t][b][slot] = Some(*key);
+                self.stats.mem_writes += 1;
+                return Some(());
+            }
+        }
+        None
+    }
+
+    /// Attempts the single move: find a resident of one of `key`'s
+    /// candidate buckets whose alternate bucket has space, move it, and
+    /// place `key` in the freed slot.
+    fn try_one_move(&mut self, key: &FlowKey) -> Option<()> {
+        let d = self.hashes.len();
+        for t in 0..d {
+            let b = self.bucket_of(t, key);
+            for slot in 0..self.k {
+                let Some(resident) = self.tables[t][b][slot] else {
+                    continue;
+                };
+                // Try every alternate table of the resident.
+                for alt in 0..d {
+                    if alt == t {
+                        continue;
+                    }
+                    let ab = self.bucket_of(alt, &resident);
+                    self.stats.mem_reads += 1;
+                    if let Some(free) = self.tables[alt][ab].iter().position(|s| s.is_none()) {
+                        self.tables[alt][ab][free] = Some(resident);
+                        self.tables[t][b][slot] = Some(*key);
+                        self.stats.mem_writes += 2;
+                        self.stats.relocations += 1;
+                        return Some(());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl FlowTable for OneMoveTable {
+    fn name(&self) -> &'static str {
+        "one-move"
+    }
+
+    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+        self.stats.inserts += 1;
+        self.stats.mem_reads += self.hashes.len() as u64;
+        if self.try_direct_insert(&key).is_some() || self.try_one_move(&key).is_some() {
+            self.len += 1;
+            return Ok(());
+        }
+        match self.cam.insert(key) {
+            Ok(_) => {
+                self.len += 1;
+                Ok(())
+            }
+            Err(_) => Err(BaselineFullError { table: self.name() }),
+        }
+    }
+
+    fn contains(&mut self, key: &FlowKey) -> bool {
+        self.stats.lookups += 1;
+        self.stats.cam_searches += 1;
+        if self.cam.search(key).is_some() {
+            return true;
+        }
+        self.stats.mem_reads += self.hashes.len() as u64;
+        (0..self.hashes.len()).any(|t| {
+            let b = self.bucket_of(t, key);
+            self.tables[t][b].iter().any(|s| s.as_ref() == Some(key))
+        })
+    }
+
+    fn remove(&mut self, key: &FlowKey) -> bool {
+        if self.cam.delete(key).is_some() {
+            self.len -= 1;
+            return true;
+        }
+        self.stats.mem_reads += self.hashes.len() as u64;
+        for t in 0..self.hashes.len() {
+            let b = self.bucket_of(t, key);
+            if let Some(slot) = self.tables[t][b]
+                .iter()
+                .position(|s| s.as_ref() == Some(key))
+            {
+                self.tables[t][b][slot] = None;
+                self.stats.mem_writes += 1;
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.tables.iter().map(|t| t.len() * self.k).sum::<usize>() + self.cam.capacity()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowlut_traffic::FiveTuple;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey::from(FiveTuple::from_index(i))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = OneMoveTable::new(2, 64, 1, 64, 4);
+        t.insert(key(3)).unwrap();
+        assert!(t.contains(&key(3)));
+        assert!(t.remove(&key(3)));
+        assert!(!t.contains(&key(3)));
+    }
+
+    #[test]
+    fn one_move_defers_cam_usage() {
+        // Same geometry, with vs without moves isn't separable via the
+        // public API, but vs d-left at the same load the CAM should stay
+        // small thanks to the move. Load to 75% and check.
+        let mut t = OneMoveTable::new(2, 128, 1, 64, 5);
+        for i in 0..192 {
+            t.insert(key(i)).unwrap();
+        }
+        assert!(t.op_stats().relocations > 0, "moves should have happened");
+        assert!(
+            t.cam_len() < 40,
+            "one-move should keep most overflow out of the CAM, used {}",
+            t.cam_len()
+        );
+        // All keys still findable.
+        for i in 0..192 {
+            assert!(t.contains(&key(i)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn full_table_errors() {
+        let mut t = OneMoveTable::new(2, 2, 1, 2, 6);
+        let mut failed = false;
+        for i in 0..16 {
+            if t.insert(key(i)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn moves_cost_extra_writes() {
+        let mut t = OneMoveTable::new(2, 128, 1, 64, 5);
+        for i in 0..192 {
+            t.insert(key(i)).unwrap();
+        }
+        let s = t.op_stats();
+        assert!(
+            s.mem_writes > s.inserts,
+            "relocations must add writes: {} writes for {} inserts",
+            s.mem_writes,
+            s.inserts
+        );
+    }
+}

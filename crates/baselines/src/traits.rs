@@ -1,0 +1,121 @@
+//! The common baseline interface.
+
+use std::error::Error;
+use std::fmt;
+
+use flowlut_traffic::FlowKey;
+
+/// Insertion failed: the structure could not place the key.
+///
+/// For cuckoo tables this is an insertion-loop abort; for bounded-bucket
+/// tables it means every candidate slot (and any overflow CAM) is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineFullError {
+    /// Name of the structure that rejected the key.
+    pub table: &'static str,
+}
+
+impl fmt::Display for BaselineFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} could not place the key", self.table)
+    }
+}
+
+impl Error for BaselineFullError {}
+
+/// Memory-access accounting: the currency all baselines are compared in.
+///
+/// One `mem_read`/`mem_write` equals one bucket-sized DRAM access (a BL8
+/// burst on the paper's hardware). On-chip events (CAM searches, cuckoo
+/// relocations) are tallied separately because they are cheap on-die but
+/// are the scaling bottleneck of the respective schemes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpStats {
+    /// Bucket reads issued.
+    pub mem_reads: u64,
+    /// Bucket writes issued.
+    pub mem_writes: u64,
+    /// On-chip CAM searches.
+    pub cam_searches: u64,
+    /// Entries relocated (cuckoo kicks / one-move moves).
+    pub relocations: u64,
+    /// Lookup operations performed.
+    pub lookups: u64,
+    /// Insert operations attempted.
+    pub inserts: u64,
+}
+
+impl OpStats {
+    /// Mean DRAM reads per lookup — the paper's headline comparison
+    /// metric (its scheme achieves < 2 with early exit).
+    pub fn reads_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mem_reads as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// An exact-membership flow table baseline.
+///
+/// All implementations are deterministic given their construction seed,
+/// store [`FlowKey`]s exactly (no false positives), and count their
+/// memory traffic in [`OpStats`].
+pub trait FlowTable: fmt::Debug {
+    /// Human-readable structure name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Inserts `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineFullError`] if the structure cannot place the key.
+    /// Inserting a key that is already present is a caller error with
+    /// implementation-defined (but memory-safe) behaviour; callers look
+    /// up before inserting, as the flow pipeline does.
+    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError>;
+
+    /// Membership query.
+    fn contains(&mut self, key: &FlowKey) -> bool;
+
+    /// Removes `key`; returns whether it was present.
+    fn remove(&mut self, key: &FlowKey) -> bool;
+
+    /// Number of resident keys.
+    fn len(&self) -> usize;
+
+    /// `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total key capacity (including any overflow CAM).
+    fn capacity(&self) -> usize;
+
+    /// Memory-access accounting so far.
+    fn op_stats(&self) -> OpStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_per_lookup() {
+        let s = OpStats {
+            mem_reads: 30,
+            lookups: 20,
+            ..OpStats::default()
+        };
+        assert!((s.reads_per_lookup() - 1.5).abs() < 1e-12);
+        assert_eq!(OpStats::default().reads_per_lookup(), 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BaselineFullError { table: "cuckoo" };
+        assert!(e.to_string().contains("cuckoo"));
+    }
+}

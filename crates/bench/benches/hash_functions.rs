@@ -1,0 +1,75 @@
+//! Hash-function throughput: CRC-32, H3, Toeplitz over 13-byte 5-tuples.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowlut_hash::{Crc32, H3Hash, HashFunction, PairHasher, ToeplitzHash};
+use flowlut_traffic::FiveTuple;
+
+fn keys(n: u64) -> Vec<[u8; 13]> {
+    (0..n).map(|i| FiveTuple::from_index(i).to_bytes()).collect()
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let keys = keys(1024);
+    let mut group = c.benchmark_group("hash_5tuple");
+    group.throughput(criterion::Throughput::Elements(keys.len() as u64));
+
+    let crc = Crc32::ieee();
+    group.bench_function("crc32_ieee", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= crc.hash(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let crc32c = Crc32::castagnoli();
+    group.bench_function("crc32c", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= crc32c.hash(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let h3 = H3Hash::with_seed(104, 1);
+    group.bench_function("h3", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= h3.hash(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let toeplitz = ToeplitzHash::with_seed(13, 2);
+    group.bench_function("toeplitz", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= toeplitz.hash(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let pair = PairHasher::h3_pair(104, 3);
+    group.bench_function("h3_pair_bucketised", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                let (a, bb) = pair.bucket_pair(black_box(k), 1 << 21);
+                acc ^= a ^ bb;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! # flowlut-bench — harness regenerating every table and figure
+//!
+//! One binary per paper artefact, each printing the paper's values next
+//! to the reproduction's measurements:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I — FPGA resource usage (resource-model estimate) |
+//! | `table2a` | Table II(A) — load balance & bank selection |
+//! | `table2b` | Table II(B) — flow-match miss-rate sweep |
+//! | `fig3` | Figure 3 — DQ bus utilization vs burst count |
+//! | `fig6` | Figure 6 — new-flow ratio vs packet window |
+//! | `discussion` | §V-B — 40 GbE feasibility and product comparison |
+//! | `probe` | development calibration probe (not a paper artefact) |
+//!
+//! Criterion benches under `benches/` cover the functional table, the
+//! baselines, and the ablations DESIGN.md calls out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// One row of a paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (test description).
+    pub label: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Row {
+            label: label.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            f64::NAN
+        } else {
+            self.measured / self.paper
+        }
+    }
+}
+
+/// Prints a standard comparison table.
+pub fn print_comparison(title: &str, unit: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "test", format!("paper ({unit})"), "measured", "ratio"
+    );
+    println!("{}", "-".repeat(80));
+    for r in rows {
+        println!(
+            "{:<44} {:>12.2} {:>12.2} {:>7.2}x",
+            r.label,
+            r.paper,
+            r.measured,
+            r.ratio()
+        );
+    }
+}
+
+/// Prints a generic two-column series (for figures).
+pub fn print_series<X: Display, Y: Display>(title: &str, x_name: &str, y_name: &str, points: &[(X, Y)]) {
+    println!("\n=== {title} ===");
+    println!("{x_name:>12} {y_name:>16}");
+    println!("{}", "-".repeat(30));
+    for (x, y) in points {
+        println!("{x:>12} {y:>16}");
+    }
+}
+
+/// Renders a crude ASCII plot of a monotone series (x, y in `[0, 1]`),
+/// so figure shapes are eyeballable without external tooling.
+pub fn ascii_plot(points: &[(f64, f64)], width: usize) {
+    for &(x, y) in points {
+        let bars = (y.clamp(0.0, 1.0) * width as f64).round() as usize;
+        println!("{x:>8.0} | {}{} {:.1}%", "#".repeat(bars), " ".repeat(width - bars), y * 100.0);
+    }
+}
+
+/// Writes a CSV result file under the results directory
+/// (`$FLOWLUT_RESULTS_DIR` or `./paper-results`) and returns its path.
+/// Fields containing commas or quotes are quoted.
+///
+/// # Errors
+///
+/// Propagates I/O errors (directory creation, file write).
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let dir = std::env::var_os("FLOWLUT_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("paper-results"));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(f, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(path)
+}
+
+/// Saves a paper-vs-measured comparison as CSV next to printing it.
+/// I/O failures are reported to stderr but do not abort the experiment.
+pub fn save_comparison(name: &str, rows: &[Row]) {
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}", r.paper),
+                format!("{}", r.measured),
+                format!("{:.4}", r.ratio()),
+            ]
+        })
+        .collect();
+    match write_csv(name, &["test", "paper", "measured", "ratio"], &csv_rows) {
+        Ok(path) => println!("(saved {})", path.display()),
+        Err(e) => eprintln!("warning: could not save {name}.csv: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_computed() {
+        let r = Row::new("x", 50.0, 55.0);
+        assert!((r.ratio() - 1.1).abs() < 1e-12);
+        assert!(Row::new("y", 0.0, 1.0).ratio().is_nan());
+    }
+
+    #[test]
+    fn csv_written_and_quoted() {
+        let dir = std::env::temp_dir().join("flowlut-csv-test");
+        std::env::set_var("FLOWLUT_RESULTS_DIR", &dir);
+        let path = write_csv(
+            "unit_test",
+            &["a", "b"],
+            &[vec!["plain".into(), "with,comma \"q\"".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("\"with,comma \"\"q\"\"\""));
+        std::env::remove_var("FLOWLUT_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,311 @@
+//! Exact-match (binary) CAM.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::stats::CamStats;
+
+/// Error returned when inserting into a full CAM.
+///
+/// In the flow-table context this surfaces as the `TableFull` condition:
+/// the paper's scheme relies on the CAM being "of a reasonable size" so
+/// that bucket overflows fit; benches sweep CAM capacity against spill
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamFullError {
+    /// Capacity of the CAM that rejected the insert.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CamFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CAM full (capacity {})", self.capacity)
+    }
+}
+
+impl Error for CamFullError {}
+
+/// An exact-match content-addressable memory with `capacity` slots.
+///
+/// Search compares the key against every occupied slot "in parallel" and
+/// returns the **lowest** matching slot index (hardware priority
+/// encoding). Insertion uses a free-list and fills the lowest free slot,
+/// mirroring the deterministic allocators used in FPGA CAM wrappers.
+///
+/// Duplicate keys are a caller responsibility: `insert` does not scan for
+/// duplicates (hardware does not either — the flow table searches before
+/// inserting). [`Cam::search`] on a duplicated key returns the lowest
+/// slot.
+#[derive(Debug, Clone)]
+pub struct Cam<K> {
+    slots: Vec<Option<K>>,
+    /// Free slot indices, kept sorted descending so `pop` yields the
+    /// lowest index.
+    free: Vec<usize>,
+    len: usize,
+    stats: CamStats,
+}
+
+impl<K: Eq> Cam<K> {
+    /// Creates a CAM with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CAM capacity must be non-zero");
+        Cam {
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            len: 0,
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when every slot is occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &CamStats {
+        &self.stats
+    }
+
+    /// Parallel search; returns the lowest slot index holding `key`.
+    pub fn search(&mut self, key: &K) -> Option<usize> {
+        self.stats.searches += 1;
+        let hit = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref() == Some(key));
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Search without statistics side-effects (for assertions and debug).
+    pub fn peek(&self, key: &K) -> Option<usize> {
+        self.slots.iter().position(|s| s.as_ref() == Some(key))
+    }
+
+    /// Returns the key stored in `slot`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn entry(&self, slot: usize) -> Option<&K> {
+        self.slots[slot].as_ref()
+    }
+
+    /// Inserts `key` into the lowest free slot and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamFullError`] when no slot is free.
+    pub fn insert(&mut self, key: K) -> Result<usize, CamFullError> {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot].is_none());
+                self.slots[slot] = Some(key);
+                self.len += 1;
+                self.stats.inserts += 1;
+                self.stats.high_watermark = self.stats.high_watermark.max(self.len);
+                Ok(slot)
+            }
+            None => {
+                self.stats.insert_failures += 1;
+                Err(CamFullError {
+                    capacity: self.capacity(),
+                })
+            }
+        }
+    }
+
+    /// Removes `key` (lowest matching slot) and returns the slot index.
+    pub fn delete(&mut self, key: &K) -> Option<usize> {
+        let slot = self.peek(key)?;
+        self.slots[slot] = None;
+        self.len -= 1;
+        self.stats.deletes += 1;
+        // Keep the free list sorted descending so the lowest slot is
+        // reused first (deterministic like a hardware priority allocator).
+        let pos = self
+            .free
+            .binary_search_by(|probe| slot.cmp(probe))
+            .unwrap_err();
+        self.free.insert(pos, slot);
+        Some(slot)
+    }
+
+    /// Removes the entry in `slot`, returning its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn delete_slot(&mut self, slot: usize) -> Option<K> {
+        let k = self.slots[slot].take()?;
+        self.len -= 1;
+        self.stats.deletes += 1;
+        let pos = self
+            .free
+            .binary_search_by(|probe| slot.cmp(probe))
+            .unwrap_err();
+        self.free.insert(pos, slot);
+        Some(k)
+    }
+
+    /// Iterates over `(slot, key)` pairs of occupied slots in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &K)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|k| (i, k)))
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.free = (0..self.capacity()).rev().collect();
+        self.len = 0;
+    }
+
+    /// Removes all entries for which `pred` returns `true`, returning the
+    /// removed keys (used by flow housekeeping to expire timed-out flows).
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(&K) -> bool) -> Vec<K> {
+        let mut removed = Vec::new();
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().is_some_and(&mut pred) {
+                removed.push(self.delete_slot(slot).expect("checked occupied"));
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_search_delete_roundtrip() {
+        let mut cam: Cam<u32> = Cam::new(8);
+        let s = cam.insert(42).unwrap();
+        assert_eq!(s, 0);
+        assert_eq!(cam.search(&42), Some(0));
+        assert_eq!(cam.delete(&42), Some(0));
+        assert_eq!(cam.search(&42), None);
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn fills_lowest_slot_first() {
+        let mut cam: Cam<u32> = Cam::new(4);
+        assert_eq!(cam.insert(1).unwrap(), 0);
+        assert_eq!(cam.insert(2).unwrap(), 1);
+        assert_eq!(cam.insert(3).unwrap(), 2);
+        cam.delete(&2);
+        // Slot 1 is the lowest free slot and must be reused.
+        assert_eq!(cam.insert(9).unwrap(), 1);
+    }
+
+    #[test]
+    fn full_cam_rejects() {
+        let mut cam: Cam<u8> = Cam::new(2);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        assert!(cam.is_full());
+        let err = cam.insert(3).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(cam.stats().insert_failures, 1);
+    }
+
+    #[test]
+    fn priority_encoding_lowest_match() {
+        let mut cam: Cam<u8> = Cam::new(4);
+        cam.insert(7).unwrap(); // slot 0
+        cam.insert(8).unwrap(); // slot 1
+        cam.insert(7).unwrap(); // slot 2 (duplicate by caller choice)
+        assert_eq!(cam.search(&7), Some(0));
+        cam.delete_slot(0);
+        assert_eq!(cam.search(&7), Some(2));
+    }
+
+    #[test]
+    fn stats_track_hits_and_watermark() {
+        let mut cam: Cam<u8> = Cam::new(4);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        cam.search(&1);
+        cam.search(&9);
+        assert_eq!(cam.stats().searches, 2);
+        assert_eq!(cam.stats().hits, 1);
+        assert!((cam.stats().hit_rate() - 0.5).abs() < 1e-12);
+        cam.delete(&1);
+        cam.delete(&2);
+        assert_eq!(cam.stats().high_watermark, 2);
+    }
+
+    #[test]
+    fn drain_filter_expires_matching() {
+        let mut cam: Cam<u32> = Cam::new(8);
+        for k in 0..6 {
+            cam.insert(k).unwrap();
+        }
+        let removed = cam.drain_filter(|k| k % 2 == 0);
+        assert_eq!(removed, vec![0, 2, 4]);
+        assert_eq!(cam.len(), 3);
+        assert_eq!(cam.peek(&1), Some(1));
+        assert_eq!(cam.peek(&2), None);
+    }
+
+    #[test]
+    fn clear_resets_allocation_order() {
+        let mut cam: Cam<u8> = Cam::new(3);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        cam.clear();
+        assert!(cam.is_empty());
+        assert_eq!(cam.insert(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn iter_in_slot_order() {
+        let mut cam: Cam<u8> = Cam::new(4);
+        cam.insert(10).unwrap();
+        cam.insert(20).unwrap();
+        cam.insert(30).unwrap();
+        cam.delete(&20);
+        let v: Vec<(usize, u8)> = cam.iter().map(|(i, k)| (i, *k)).collect();
+        assert_eq!(v, vec![(0, 10), (2, 30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Cam::<u8>::new(0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Ternary CAM (masked matching).
+//!
+//! The paper notes its scheme is "scalable with respect to … number of
+//! tuples for lookup". A ternary CAM is the hardware idiom for matching
+//! an n-tuple with wildcarded fields, so the TCAM model rounds out the
+//! CAM subsystem for tuple-flexible lookups and classifier-style
+//! experiments.
+
+use crate::stats::CamStats;
+
+/// One TCAM entry: matches `key` iff `(key & mask) == value & mask`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TcamEntry {
+    /// Pattern bits.
+    pub value: u128,
+    /// Care bits: `1` bits participate in the match, `0` bits are
+    /// wildcards.
+    pub mask: u128,
+}
+
+impl TcamEntry {
+    /// An exact-match entry (all bits cared).
+    pub fn exact(value: u128) -> Self {
+        TcamEntry {
+            value,
+            mask: u128::MAX,
+        }
+    }
+
+    /// `true` when `key` matches this entry.
+    #[inline]
+    pub fn matches(&self, key: u128) -> bool {
+        (key & self.mask) == (self.value & self.mask)
+    }
+}
+
+/// A ternary CAM over 128-bit keys (wide enough for an IPv4 5-tuple with
+/// room to spare; n-tuple keys wider than 128 bits hash down before TCAM
+/// placement in this reproduction).
+///
+/// Matching returns the lowest-index matching entry (priority encode), so
+/// insertion order defines rule priority, as in classifier hardware.
+#[derive(Debug, Clone, Default)]
+pub struct Tcam {
+    entries: Vec<Option<TcamEntry>>,
+    stats: CamStats,
+}
+
+impl Tcam {
+    /// Creates a TCAM with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TCAM capacity must be non-zero");
+        Tcam {
+            entries: vec![None; capacity],
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// `true` when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &CamStats {
+        &self.stats
+    }
+
+    /// Writes `entry` into `slot` (slot index = priority; lower wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn write(&mut self, slot: usize, entry: TcamEntry) {
+        assert!(slot < self.entries.len(), "slot out of range");
+        if self.entries[slot].is_none() {
+            self.stats.inserts += 1;
+        }
+        self.entries[slot] = Some(entry);
+        let occupied = self.len();
+        self.stats.high_watermark = self.stats.high_watermark.max(occupied);
+    }
+
+    /// Clears `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn erase(&mut self, slot: usize) -> Option<TcamEntry> {
+        assert!(slot < self.entries.len(), "slot out of range");
+        let prev = self.entries[slot].take();
+        if prev.is_some() {
+            self.stats.deletes += 1;
+        }
+        prev
+    }
+
+    /// Parallel match; returns the lowest matching slot.
+    pub fn search(&mut self, key: u128) -> Option<usize> {
+        self.stats.searches += 1;
+        let hit = self
+            .entries
+            .iter()
+            .position(|e| e.is_some_and(|e| e.matches(key)));
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Entry stored at `slot`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn entry(&self, slot: usize) -> Option<TcamEntry> {
+        self.entries[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_entry_matches_only_itself() {
+        let e = TcamEntry::exact(0xABCD);
+        assert!(e.matches(0xABCD));
+        assert!(!e.matches(0xABCE));
+    }
+
+    #[test]
+    fn wildcard_bits_ignored() {
+        // Match any key whose top 8 of 16 low bits equal 0xAB.
+        let e = TcamEntry {
+            value: 0xAB00,
+            mask: 0xFF00,
+        };
+        assert!(e.matches(0xAB00));
+        assert!(e.matches(0xABFF));
+        assert!(!e.matches(0xAC00));
+    }
+
+    #[test]
+    fn priority_is_lowest_slot() {
+        let mut t = Tcam::new(4);
+        // Slot 2: broad wildcard; slot 1: narrower rule.
+        t.write(
+            2,
+            TcamEntry {
+                value: 0,
+                mask: 0,
+            },
+        );
+        t.write(1, TcamEntry::exact(5));
+        assert_eq!(t.search(5), Some(1));
+        assert_eq!(t.search(77), Some(2));
+        t.erase(2);
+        assert_eq!(t.search(77), None);
+    }
+
+    #[test]
+    fn write_overwrites_in_place() {
+        let mut t = Tcam::new(2);
+        t.write(0, TcamEntry::exact(1));
+        t.write(0, TcamEntry::exact(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search(2), Some(0));
+        assert_eq!(t.search(1), None);
+    }
+
+    #[test]
+    fn stats_counted() {
+        let mut t = Tcam::new(2);
+        t.write(0, TcamEntry::exact(9));
+        t.search(9);
+        t.search(8);
+        assert_eq!(t.stats().searches, 2);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().high_watermark, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_out_of_range_panics() {
+        let mut t = Tcam::new(1);
+        t.write(1, TcamEntry::exact(0));
+    }
+}

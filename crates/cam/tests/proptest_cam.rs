@@ -1,0 +1,103 @@
+//! Property tests: the CAM against a reference set model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use flowlut_cam::{Cam, Tcam, TcamEntry};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Delete(u16),
+    Search(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..48).prop_map(Op::Insert),
+        (0u16..48).prop_map(Op::Delete),
+        (0u16..48).prop_map(Op::Search),
+    ]
+}
+
+proptest! {
+    /// For unique-key usage (the flow table's contract) the CAM matches
+    /// a map model, and slot indices remain stable until deletion.
+    #[test]
+    fn cam_matches_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut cam: Cam<u16> = Cam::new(48);
+        let mut model: HashMap<u16, usize> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    if model.contains_key(&k) {
+                        continue; // caller contract: search before insert
+                    }
+                    let slot = cam.insert(k).expect("48-key universe fits");
+                    model.insert(k, slot);
+                }
+                Op::Delete(k) => {
+                    let cam_slot = cam.delete(&k);
+                    let model_slot = model.remove(&k);
+                    prop_assert_eq!(cam_slot, model_slot);
+                }
+                Op::Search(k) => {
+                    prop_assert_eq!(cam.search(&k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(cam.len(), model.len());
+        }
+        // The allocator never double-books: all occupied slots distinct.
+        let mut seen = std::collections::HashSet::new();
+        for (slot, _) in cam.iter() {
+            prop_assert!(seen.insert(slot));
+        }
+    }
+
+    /// Lowest-free-slot allocation: after any interleaving, a fresh
+    /// insert takes the smallest free index.
+    #[test]
+    fn lowest_free_slot(
+        inserts in prop::collection::vec(0u16..32, 1..32),
+        delete_idx in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut cam: Cam<u16> = Cam::new(64);
+        let mut resident: Vec<u16> = Vec::new();
+        for k in inserts {
+            if cam.peek(&k).is_none() {
+                cam.insert(k).unwrap();
+                resident.push(k);
+            }
+        }
+        for idx in delete_idx {
+            if resident.is_empty() {
+                break;
+            }
+            let k = resident.remove(idx.index(resident.len()));
+            cam.delete(&k);
+        }
+        // Compute the expected lowest free slot.
+        let occupied: std::collections::HashSet<usize> =
+            cam.iter().map(|(s, _)| s).collect();
+        let expected = (0..cam.capacity()).find(|s| !occupied.contains(s)).unwrap();
+        let got = cam.insert(999).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// TCAM: the lowest matching slot always wins, for arbitrary rules.
+    #[test]
+    fn tcam_priority(
+        rules in prop::collection::vec((any::<u64>(), any::<u64>()), 1..16),
+        probe in any::<u64>(),
+    ) {
+        let mut tcam = Tcam::new(rules.len());
+        for (i, (value, mask)) in rules.iter().enumerate() {
+            tcam.write(i, TcamEntry { value: u128::from(*value), mask: u128::from(*mask) });
+        }
+        let expected = rules
+            .iter()
+            .position(|(v, m)| (u128::from(probe) & u128::from(*m)) == (u128::from(*v) & u128::from(*m)));
+        prop_assert_eq!(tcam.search(u128::from(probe)), expected);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bucket wire format: how flow entries are laid out in DDR3 bursts.
+//!
+//! A bucket holds `K` fixed-width entry slots. Each slot is
+//! `[len: u8][key bytes][zero padding]`; `len == 0` marks a free slot
+//! (DRAM's all-zero reset state is therefore "empty bucket", which is why
+//! the simulator never needs to initialise 512 MB of storage). The flow
+//! table reads/writes whole buckets, one or more BL8 bursts each — the
+//! unit the paper's DLU schedules.
+
+use flowlut_traffic::FlowKey;
+
+/// Serialises `slots` into `slot_bytes`-wide records, padded to
+/// `total_len` bytes (a whole number of bursts).
+///
+/// # Panics
+///
+/// Panics if a key does not fit its slot (`key.len() + 1 > slot_bytes`)
+/// or if `total_len < slots.len() * slot_bytes`.
+pub fn serialize_bucket(slots: &[Option<FlowKey>], slot_bytes: usize, total_len: usize) -> Vec<u8> {
+    assert!(
+        total_len >= slots.len() * slot_bytes,
+        "bucket byte budget too small"
+    );
+    let mut out = vec![0u8; total_len];
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(key) = slot {
+            let k = key.as_bytes();
+            assert!(
+                k.len() < slot_bytes,
+                "key of {} bytes does not fit a {slot_bytes}-byte slot",
+                k.len()
+            );
+            let base = i * slot_bytes;
+            out[base] = k.len() as u8;
+            out[base + 1..base + 1 + k.len()].copy_from_slice(k);
+        }
+    }
+    out
+}
+
+/// Parses a serialised bucket back into slots.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than `k * slot_bytes` or a slot contains
+/// a length byte that exceeds the slot (corrupt storage — a simulator
+/// bug, not a runtime condition).
+pub fn deserialize_bucket(bytes: &[u8], slot_bytes: usize, k: usize) -> Vec<Option<FlowKey>> {
+    assert!(bytes.len() >= k * slot_bytes, "bucket bytes too short");
+    (0..k)
+        .map(|i| {
+            let base = i * slot_bytes;
+            let len = usize::from(bytes[base]);
+            if len == 0 {
+                None
+            } else {
+                assert!(len < slot_bytes, "corrupt slot length {len}");
+                Some(FlowKey::new(&bytes[base + 1..base + 1 + len]).expect("len bounded by slot"))
+            }
+        })
+        .collect()
+}
+
+/// Searches a serialised bucket for `key`; returns the slot index
+/// (the Flow Match comparison, operating directly on burst data).
+pub fn find_key(bytes: &[u8], slot_bytes: usize, k: usize, key: &FlowKey) -> Option<u8> {
+    let kb = key.as_bytes();
+    for i in 0..k {
+        let base = i * slot_bytes;
+        if bytes.len() < base + slot_bytes {
+            return None;
+        }
+        let len = usize::from(bytes[base]);
+        if len == kb.len() && &bytes[base + 1..base + 1 + len] == kb {
+            return Some(i as u8);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowlut_traffic::FiveTuple;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey::from(FiveTuple::from_index(i))
+    }
+
+    #[test]
+    fn roundtrip_full_bucket() {
+        let slots = vec![Some(key(1)), Some(key(2))];
+        let bytes = serialize_bucket(&slots, 16, 32);
+        assert_eq!(bytes.len(), 32);
+        let back = deserialize_bucket(&bytes, 16, 2);
+        assert_eq!(back, slots);
+    }
+
+    #[test]
+    fn roundtrip_with_holes() {
+        let slots = vec![None, Some(key(9)), None, Some(key(3))];
+        let bytes = serialize_bucket(&slots, 16, 64);
+        let back = deserialize_bucket(&bytes, 16, 4);
+        assert_eq!(back, slots);
+    }
+
+    #[test]
+    fn zero_bytes_is_empty_bucket() {
+        let back = deserialize_bucket(&[0u8; 32], 16, 2);
+        assert_eq!(back, vec![None, None]);
+    }
+
+    #[test]
+    fn find_key_locates_slot() {
+        let slots = vec![Some(key(5)), Some(key(6))];
+        let bytes = serialize_bucket(&slots, 16, 32);
+        assert_eq!(find_key(&bytes, 16, 2, &key(6)), Some(1));
+        assert_eq!(find_key(&bytes, 16, 2, &key(5)), Some(0));
+        assert_eq!(find_key(&bytes, 16, 2, &key(7)), None);
+    }
+
+    #[test]
+    fn find_key_distinguishes_lengths() {
+        let short = FlowKey::new(&[1, 2]).unwrap();
+        let long = FlowKey::new(&[1, 2, 0]).unwrap();
+        let bytes = serialize_bucket(&[Some(short)], 16, 16);
+        assert_eq!(find_key(&bytes, 16, 1, &long), None);
+        assert_eq!(find_key(&bytes, 16, 1, &short), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_key_panics() {
+        let wide = FlowKey::new(&[7u8; 20]).unwrap();
+        let _ = serialize_bucket(&[Some(wide)], 16, 16);
+    }
+
+    #[test]
+    fn padding_beyond_slots_allowed() {
+        let bytes = serialize_bucket(&[Some(key(1))], 16, 32);
+        assert_eq!(bytes.len(), 32);
+        assert!(bytes[16..].iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Configuration of the timed flow-LUT simulator.
+
+use flowlut_ddr3::{AddressMapping, Geometry, TimingParams, TimingPreset};
+
+use crate::error::ConfigError;
+use crate::table::TableConfig;
+
+/// How the sequencer's load balancer picks the first lookup path.
+///
+/// Table II(A) of the paper measures exactly this dial: a balanced
+/// split (50.8 % / 50.0 % on path A) versus skewed splits (25 %, 0 %).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub enum LoadBalancerPolicy {
+    /// Use the low bit of the first hash value: random traffic splits
+    /// ≈50/50 (the paper's "random hash" row lands at 50.8 %).
+    #[default]
+    HashSplit,
+    /// Send exactly `path_a_permille`/1000 of descriptors to path A, the
+    /// rest to path B (deterministic interleave). `0` reproduces the
+    /// paper's all-on-B row.
+    FixedRatio {
+        /// Per-mille of descriptors first routed to path A.
+        path_a_permille: u16,
+    },
+    /// Adaptive: pick the path whose lookup queue is currently shorter
+    /// (ties to A). The "optimized load balancer" of the discussion.
+    QueueDepth,
+}
+
+
+/// What the update unit does when a new flow finds both candidate
+/// buckets *and* the overflow CAM full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FullTablePolicy {
+    /// Drop the new flow (the prototype's behaviour: housekeeping is
+    /// expected to keep the table from filling). Default.
+    #[default]
+    Drop,
+    /// Evict the least-recently-seen flow from the new flow's candidate
+    /// buckets and take its slot — the bounded-loss policy NetFlow-class
+    /// monitors use, so a full table sheds its *coldest* flows instead of
+    /// refusing *new* ones.
+    EvictIdlest,
+}
+
+/// Full configuration of [`FlowLutSim`](crate::sim::FlowLutSim).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Table sizing and hashing.
+    pub table: TableConfig,
+    /// DDR3 timing of each memory set (prototype: DDR3-1600, 800 MHz
+    /// memory clock = 4 × the 200 MHz system clock).
+    pub timing: TimingParams,
+    /// Geometry of each memory set.
+    pub geometry: Geometry,
+    /// Bucket-address to bank/row/column mapping. The default
+    /// `RowColBank` places consecutive buckets in consecutive banks, the
+    /// interleave the paper's Bank Selector exploits.
+    pub mapping: AddressMapping,
+    /// Memory-clock cycles per system-clock cycle (prototype: 4,
+    /// quarter-rate user logic).
+    pub clock_ratio: u32,
+    /// First-path selection policy.
+    pub load_balancer: LoadBalancerPolicy,
+    /// Ablation switch: `false` serialises each path's memory requests
+    /// one at a time (no bank-parallelism), isolating the Bank Selector's
+    /// contribution.
+    pub bank_select_enabled: bool,
+    /// Same-direction grouping limit forwarded to the memory controller.
+    pub group_limit: u32,
+    /// Memory-controller queue capacity per path.
+    pub controller_queue: usize,
+    /// Pending-read capacity per path DLU (requests held before the
+    /// controller accepts them).
+    pub dlu_queue_depth: usize,
+    /// Sequencer input-queue depth.
+    pub sequencer_depth: usize,
+    /// Bucket buffers per Flow Match lane (resource model input).
+    pub flow_match_buffers: usize,
+    /// BWr_Gen releases a write burst when this many updates are pending…
+    pub bwr_threshold: usize,
+    /// …or when the oldest pending update is this many system cycles old.
+    pub bwr_timeout_sys: u64,
+    /// CAM search pipeline latency in system cycles.
+    pub cam_latency_sys: u64,
+    /// Offered descriptor rate in MHz (the paper sweeps 60–100 MHz).
+    pub input_rate_mhz: f64,
+    /// Enable periodic DRAM refresh.
+    pub refresh_enabled: bool,
+    /// Flow idle timeout for housekeeping, in nanoseconds.
+    pub flow_timeout_ns: u64,
+    /// Housekeeping scan period in system cycles (`0` disables the scan).
+    pub housekeeping_period_sys: u64,
+    /// Maximum descriptors in flight past the sequencer (pipeline depth).
+    pub max_in_flight: usize,
+    /// Behaviour when an insertion finds table and CAM full.
+    pub full_table_policy: FullTablePolicy,
+}
+
+impl Default for SimConfig {
+    /// The FPGA prototype: 200 MHz system clock, two DDR3-1600 memory
+    /// sets, 8 M-entry table, balanced hashing.
+    fn default() -> Self {
+        SimConfig {
+            table: TableConfig::prototype_8m(),
+            timing: TimingPreset::Ddr3_1600.params(),
+            geometry: Geometry::prototype_512mb(),
+            mapping: AddressMapping::RowColBank,
+            clock_ratio: 4,
+            load_balancer: LoadBalancerPolicy::default(),
+            bank_select_enabled: true,
+            group_limit: 16,
+            controller_queue: 64,
+            dlu_queue_depth: 64,
+            sequencer_depth: 64,
+            flow_match_buffers: 4,
+            bwr_threshold: 8,
+            bwr_timeout_sys: 64,
+            cam_latency_sys: 1,
+            input_rate_mhz: 100.0,
+            refresh_enabled: true,
+            flow_timeout_ns: 1_000_000_000,
+            housekeeping_period_sys: 0,
+            max_in_flight: 256,
+            full_table_policy: FullTablePolicy::Drop,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A scaled-down configuration for fast unit tests: small table,
+    /// small memory, refresh off.
+    pub fn test_small() -> Self {
+        SimConfig {
+            table: TableConfig::test_small(),
+            geometry: Geometry {
+                banks: 8,
+                rows: 64,
+                cols: 32,
+                bus_width_bits: 32,
+                burst_length: 8,
+            },
+            refresh_enabled: false,
+            ..SimConfig::default()
+        }
+    }
+
+    /// System-clock frequency in MHz implied by the memory timing and
+    /// clock ratio (prototype: 800 / 4 = 200 MHz).
+    pub fn sys_clock_mhz(&self) -> f64 {
+        self.timing.clock_mhz() / f64::from(self.clock_ratio)
+    }
+
+    /// System-clock period in nanoseconds.
+    pub fn sys_period_ns(&self) -> f64 {
+        1000.0 / self.sys_clock_mhz()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any sub-configuration is invalid, the
+    /// bucket array does not fit the memory geometry, the offered rate
+    /// exceeds the system clock, or queue depths are zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.table.validate()?;
+        self.timing.validate()?;
+        self.geometry.validate()?;
+        if self.clock_ratio == 0 {
+            return Err(ConfigError::new("clock_ratio must be non-zero"));
+        }
+        let burst_bytes = self.geometry.burst_bytes();
+        let bursts_needed = u64::from(self.table.buckets_per_mem)
+            * u64::from(self.table.bursts_per_bucket(burst_bytes));
+        if bursts_needed > self.geometry.total_bursts() {
+            return Err(ConfigError::new(format!(
+                "table needs {bursts_needed} bursts but each memory provides {}",
+                self.geometry.total_bursts()
+            )));
+        }
+        if self.input_rate_mhz <= 0.0 || self.input_rate_mhz > self.sys_clock_mhz() {
+            return Err(ConfigError::new(format!(
+                "input rate {} MHz must be in (0, {}] (one descriptor per system cycle max)",
+                self.input_rate_mhz,
+                self.sys_clock_mhz()
+            )));
+        }
+        if self.sequencer_depth == 0
+            || self.dlu_queue_depth == 0
+            || self.controller_queue == 0
+            || self.max_in_flight == 0
+        {
+            return Err(ConfigError::new("queue depths must be non-zero"));
+        }
+        if self.bwr_threshold == 0 {
+            return Err(ConfigError::new("bwr_threshold must be non-zero"));
+        }
+        if let LoadBalancerPolicy::FixedRatio { path_a_permille } = self.load_balancer {
+            if path_a_permille > 1000 {
+                return Err(ConfigError::new("path_a_permille must be <= 1000"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_200mhz() {
+        let c = SimConfig::default();
+        c.validate().unwrap();
+        assert!((c.sys_clock_mhz() - 200.0).abs() < 1e-9);
+        assert!((c.sys_period_ns() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_small_is_valid() {
+        SimConfig::test_small().validate().unwrap();
+    }
+
+    #[test]
+    fn oversized_table_rejected() {
+        let mut c = SimConfig::test_small();
+        c.table.buckets_per_mem = 1 << 30;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn excessive_input_rate_rejected() {
+        let mut c = SimConfig::test_small();
+        c.input_rate_mhz = 500.0;
+        assert!(c.validate().is_err());
+        c.input_rate_mhz = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_ratio_rejected() {
+        let mut c = SimConfig::test_small();
+        c.load_balancer = LoadBalancerPolicy::FixedRatio {
+            path_a_permille: 1001,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_queues_rejected() {
+        let mut c = SimConfig::test_small();
+        c.sequencer_depth = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the flow lookup table.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::fid::FlowId;
+
+/// Insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The key is already resident; carries its existing [`FlowId`].
+    Duplicate(FlowId),
+    /// Both candidate buckets and the CAM are full. The paper's scheme
+    /// relies on housekeeping (flow expiry) keeping this rare; callers
+    /// typically drop the flow or evict.
+    TableFull,
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::Duplicate(id) => write!(f, "key already present as {id}"),
+            InsertError::TableFull => {
+                write!(f, "both hash buckets and the overflow CAM are full")
+            }
+        }
+    }
+}
+
+impl Error for InsertError {}
+
+/// Configuration rejected by [`TableConfig::validate`](crate::table::TableConfig::validate)
+/// or [`SimConfig::validate`](crate::config::SimConfig::validate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Description of the inconsistency.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ConfigError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<flowlut_ddr3::ConfigError> for ConfigError {
+    fn from(e: flowlut_ddr3::ConfigError) -> Self {
+        ConfigError { reason: e.reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fid::{FlowId, Location};
+
+    #[test]
+    fn displays() {
+        let id = FlowId::encode(Location::Cam(3), 2);
+        assert!(InsertError::Duplicate(id).to_string().contains("already present"));
+        assert!(InsertError::TableFull.to_string().contains("full"));
+        assert!(ConfigError::new("bad").to_string().contains("bad"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InsertError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,978 @@
+//! The cycle-stepped dual-path flow-LUT simulator (Figure 2 of the
+//! paper).
+//!
+//! [`FlowLutSim`] models the prototype end to end: a rate-limited
+//! descriptor source feeds a **sequencer** whose load balancer picks the
+//! first lookup path; the overflow **CAM** answers in one system cycle;
+//! each path's **DLU** forwards bucket reads to its own DDR3 memory
+//! (modelled by [`flowlut_ddr3::MemoryController`]); **Flow Match**
+//! compares returned bucket bytes against the descriptor's tuple; a miss
+//! redirects to the other path (LU2), and a second miss raises an
+//! insertion to the **update unit**, whose per-path **BWr_Gen** batches
+//! bucket writes into bursts. **FID_GEN** semantics are realised by
+//! completing each descriptor with the [`FlowId`] of its match or insert
+//! location.
+//!
+//! Two invariants from DESIGN.md are enforced structurally:
+//!
+//! * **Per-flow order**: the sequencer holds a descriptor whose key has
+//!   an in-flight predecessor (the Request Filter's "waiting list"), so
+//!   same-flow completions leave in arrival order.
+//! * **No stale reads**: a bucket with a pending (batched or in-flight)
+//!   write blocks lookup reads to that bucket until the write lands.
+
+mod types;
+
+pub use types::{DescState, LuStage, ResolvedVia, SimStats};
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use flowlut_ddr3::{
+    AccessKind, Completion, ControllerConfig, ControllerStats, DeviceStats, MemRequest,
+    MemoryController, PagePolicy,
+};
+use flowlut_traffic::{FlowKey, PacketDescriptor};
+
+use crate::codec;
+use crate::config::{FullTablePolicy, LoadBalancerPolicy, SimConfig};
+use crate::error::InsertError;
+use crate::fid::{FlowId, Location, PathId};
+use crate::flow_state::FlowStateStore;
+use crate::table::{HashCamTable, Occupancy};
+
+/// A lookup read waiting in a DLU.
+#[derive(Debug, Clone, Copy)]
+struct ReadIntent {
+    desc: usize,
+    stage: LuStage,
+    bucket: u32,
+}
+
+/// A released bucket write waiting for controller room.
+#[derive(Debug, Clone, Copy)]
+struct WriteIntent {
+    bucket: u32,
+    /// Number of update intents this write retires (coalesced).
+    covers: u32,
+}
+
+/// A deletion request queued for the update unit.
+#[derive(Debug, Clone, Copy)]
+enum DelReq {
+    /// Housekeeping-nominated expiry: re-validated for idleness at
+    /// processing time (the flow may have received traffic since the
+    /// scan).
+    Expire(FlowKey),
+    /// Unconditional user deletion (the Figure 2 "Flow delete" input).
+    User(FlowKey),
+}
+
+/// Context attached to an outstanding memory request.
+#[derive(Debug, Clone, Copy)]
+enum MemTag {
+    /// One burst of a bucket read for a lookup.
+    LookupPart { asm: usize, part: u32 },
+    /// One burst of a bucket write; `last` carries the filter release.
+    WritePart {
+        path: usize,
+        bucket: u32,
+        covers: u32,
+        last: bool,
+    },
+}
+
+/// Reassembly of a multi-burst bucket read.
+#[derive(Debug)]
+struct ReadAssembly {
+    desc: usize,
+    stage: LuStage,
+    path: usize,
+    bucket: u32,
+    parts: Vec<Option<Vec<u8>>>,
+    got: u32,
+}
+
+/// One lookup path: its DDR3 memory plus the DLU state in front of it.
+#[derive(Debug)]
+struct PathSim {
+    ctrl: MemoryController,
+    read_q: VecDeque<ReadIntent>,
+    write_q: VecDeque<WriteIntent>,
+    /// Buckets with pending (batched or in-flight) writes → outstanding
+    /// update-intent count. Reads to these buckets are held (Req Filter).
+    pending_write_buckets: HashMap<u32, u32>,
+    /// BWr_Gen accumulation: one entry per update intent (bucket index).
+    bwr_pending: Vec<u32>,
+    bwr_first_cycle: Option<u64>,
+}
+
+/// The end-to-end performance report of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// System-clock cycles simulated.
+    pub sys_cycles: u64,
+    /// Wall-clock time simulated, in nanoseconds.
+    pub elapsed_ns: f64,
+    /// Descriptors resolved (including drops).
+    pub completed: u64,
+    /// Processing rate in million descriptors per second — the unit of
+    /// Table II.
+    pub mdesc_per_s: f64,
+    /// Simulator counters.
+    pub stats: SimStats,
+    /// Final table occupancy.
+    pub table_occupancy: Occupancy,
+    /// Per-path memory-controller statistics (A, B).
+    pub controller_stats: [ControllerStats; 2],
+    /// Per-path DDR3 device statistics (A, B).
+    pub device_stats: [DeviceStats; 2],
+    /// Mean admission→completion latency in nanoseconds.
+    pub mean_latency_ns: f64,
+}
+
+/// The timed flow lookup engine.
+#[derive(Debug)]
+pub struct FlowLutSim {
+    cfg: SimConfig,
+    bursts_per_bucket: u32,
+    burst_bytes: usize,
+    table: HashCamTable,
+    flow_state: FlowStateStore,
+    paths: [PathSim; 2],
+    // Sequencer.
+    seq_q: VecDeque<usize>,
+    cam_pipe: VecDeque<(u64, usize)>,
+    wait_by_key: HashMap<FlowKey, VecDeque<usize>>,
+    inflight_keys: HashSet<FlowKey>,
+    lb_acc: u32,
+    rate_accum: f64,
+    in_flight: usize,
+    // Update unit.
+    ins_q: VecDeque<usize>,
+    del_q: VecDeque<DelReq>,
+    // Descriptor slab and memory bookkeeping.
+    descs: Vec<DescState>,
+    mem_tags: HashMap<u64, MemTag>,
+    assemblies: HashMap<usize, ReadAssembly>,
+    next_mem_id: u64,
+    next_asm_id: usize,
+    now_sys: u64,
+    stats: SimStats,
+    last_completion_cycle: u64,
+}
+
+impl FlowLutSim {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`SimConfig::validate`] first for fallible handling.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        let burst_bytes = cfg.geometry.burst_bytes();
+        let bursts_per_bucket = cfg.table.bursts_per_bucket(burst_bytes);
+        let mk_ctrl = || {
+            MemoryController::new(ControllerConfig {
+                timing: cfg.timing,
+                geometry: cfg.geometry,
+                mapping: cfg.mapping,
+                // Flow lookups are single-shot random rows: close the
+                // row with auto-precharge so each access costs ACT+RD/WR
+                // instead of PRE+ACT+RD.
+                page_policy: PagePolicy::Closed,
+                queue_capacity: cfg.controller_queue,
+                group_limit: cfg.group_limit,
+                refresh_enabled: cfg.refresh_enabled,
+                // Quarter-rate command sequencing: one command per user
+                // (system) clock, i.e. one per clock_ratio memory cycles.
+                cmd_interval: u64::from(cfg.clock_ratio),
+                ..ControllerConfig::default()
+            })
+        };
+        let mk_path = || PathSim {
+            ctrl: mk_ctrl(),
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            pending_write_buckets: HashMap::new(),
+            bwr_pending: Vec::new(),
+            bwr_first_cycle: None,
+        };
+        FlowLutSim {
+            table: HashCamTable::new(cfg.table),
+            flow_state: FlowStateStore::new(),
+            paths: [mk_path(), mk_path()],
+            seq_q: VecDeque::new(),
+            cam_pipe: VecDeque::new(),
+            wait_by_key: HashMap::new(),
+            inflight_keys: HashSet::new(),
+            lb_acc: 0x9E37_79B9, // xorshift state; any non-zero seed
+
+            rate_accum: 0.0,
+            in_flight: 0,
+            ins_q: VecDeque::new(),
+            del_q: VecDeque::new(),
+            descs: Vec::new(),
+            mem_tags: HashMap::new(),
+            assemblies: HashMap::new(),
+            next_mem_id: 0,
+            next_asm_id: 0,
+            now_sys: 0,
+            stats: SimStats::default(),
+            last_completion_cycle: 0,
+            bursts_per_bucket,
+            burst_bytes,
+            cfg,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The functional table (ground truth of resident flows).
+    pub fn table(&self) -> &HashCamTable {
+        &self.table
+    }
+
+    /// Per-flow records.
+    pub fn flow_state(&self) -> &FlowStateStore {
+        &self.flow_state
+    }
+
+    /// Simulator counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current system cycle.
+    pub fn now_sys(&self) -> u64 {
+        self.now_sys
+    }
+
+    /// Completed descriptor states (resolution, timing, flow IDs), in
+    /// slab order (= offer order).
+    pub fn descriptors(&self) -> &[DescState] {
+        &self.descs
+    }
+
+    /// Preloads flows into the table *and* the simulated DRAM contents
+    /// without spending simulated cycles — the "table occupied with 10K
+    /// entries" setup of Table II(B).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InsertError`] encountered (duplicate key or
+    /// table full); earlier keys remain loaded.
+    pub fn preload<I>(&mut self, keys: I) -> Result<usize, InsertError>
+    where
+        I: IntoIterator<Item = FlowKey>,
+    {
+        let mut touched: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
+        let mut n = 0usize;
+        for key in keys {
+            let fid = self.table.insert(key)?;
+            if let Location::Mem { path, bucket, .. } =
+                fid.decode(self.cfg.table.entries_per_bucket)
+            {
+                touched[path.index()].insert(bucket);
+            }
+            self.flow_state.on_new_flow(fid, key, 0, 0);
+            n += 1;
+        }
+        for (p, buckets) in touched.iter().enumerate() {
+            for &bucket in buckets {
+                self.write_bucket_to_storage(p, bucket);
+            }
+        }
+        Ok(n)
+    }
+
+    fn write_bucket_to_storage(&mut self, path: usize, bucket: u32) {
+        let slots = self
+            .table
+            .bucket_slots(PathId::from_index(path), bucket);
+        let total = self.bursts_per_bucket as usize * self.burst_bytes;
+        let bytes = codec::serialize_bucket(&slots, self.cfg.table.entry_slot_bytes, total);
+        for j in 0..self.bursts_per_bucket {
+            let addr = u64::from(bucket) * u64::from(self.bursts_per_bucket) + u64::from(j);
+            let chunk = &bytes[j as usize * self.burst_bytes..(j as usize + 1) * self.burst_bytes];
+            self.paths[path].ctrl.storage_mut().write_burst(addr, chunk);
+        }
+    }
+
+    /// Requests deletion of `key` (the Figure 2 "Flow delete" input).
+    /// Processed asynchronously by the update unit.
+    pub fn delete_flow(&mut self, key: FlowKey) {
+        self.del_q.push_back(DelReq::User(key));
+    }
+
+    /// Runs `descs` through the engine at the configured input rate and
+    /// returns the performance report. Completes when every offered
+    /// descriptor has resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no progress for an implausibly long
+    /// time (a scheduler deadlock — a bug, not a workload condition).
+    pub fn run(&mut self, descs: &[PacketDescriptor]) -> SimReport {
+        let target = self.stats.completed + descs.len() as u64;
+        let rate_per_cycle = self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz();
+        let mut next = 0usize;
+        let start_cycle = self.now_sys;
+        let start_stats = self.stats;
+        self.last_completion_cycle = self.now_sys;
+        while self.stats.completed < target {
+            self.rate_accum = (self.rate_accum + rate_per_cycle).min(8.0);
+            while self.rate_accum >= 1.0 && next < descs.len() {
+                if self.seq_q.len() >= self.cfg.sequencer_depth {
+                    self.stats.input_stall_cycles += 1;
+                    break;
+                }
+                self.push_desc(descs[next]);
+                next += 1;
+                self.rate_accum -= 1.0;
+            }
+            self.tick();
+            assert!(
+                self.now_sys - self.last_completion_cycle < 2_000_000,
+                "no completion for 2M cycles: {} in flight, {} queued, {} waiting, \
+                 {} in insert queue — pipeline deadlock",
+                self.in_flight,
+                self.seq_q.len(),
+                self.wait_by_key.values().map(VecDeque::len).sum::<usize>(),
+                self.ins_q.len(),
+            );
+        }
+        self.report(start_cycle, &start_stats, descs.len() as u64)
+    }
+
+    /// Per-run report: statistics are differenced against the run start,
+    /// so repeated `run` calls on one simulator report each run alone.
+    fn report(&self, start_cycle: u64, start_stats: &SimStats, completed: u64) -> SimReport {
+        let cycles = self.now_sys - start_cycle;
+        let elapsed_ns = cycles as f64 * self.cfg.sys_period_ns();
+        let stats = self.stats.delta_since(start_stats);
+        SimReport {
+            sys_cycles: cycles,
+            elapsed_ns,
+            completed,
+            mdesc_per_s: if elapsed_ns > 0.0 {
+                completed as f64 / (elapsed_ns / 1000.0)
+            } else {
+                0.0
+            },
+            stats,
+            table_occupancy: self.table.occupancy(),
+            controller_stats: [*self.paths[0].ctrl.stats(), *self.paths[1].ctrl.stats()],
+            device_stats: [
+                *self.paths[0].ctrl.device().stats(),
+                *self.paths[1].ctrl.device().stats(),
+            ],
+            mean_latency_ns: self.stats.delta_since(start_stats).mean_latency_sys()
+                * self.cfg.sys_period_ns(),
+        }
+    }
+
+    fn push_desc(&mut self, desc: PacketDescriptor) {
+        let hashes = match desc.hash_override {
+            Some(pair) => pair,
+            None => self.table.raw_hashes(&desc.key),
+        };
+        let buckets = self.table.bucket_pair_from_hashes(hashes.0, hashes.1);
+        let idx = self.descs.len();
+        self.descs.push(DescState {
+            desc,
+            hashes,
+            buckets,
+            first_path: None,
+            t_offer: self.now_sys,
+            t_admit: 0,
+            t_done: None,
+            via: None,
+            fid: None,
+        });
+        self.seq_q.push_back(idx);
+        self.stats.offered += 1;
+    }
+
+    /// Advances one system-clock cycle.
+    pub fn tick(&mut self) {
+        self.now_sys += 1;
+
+        // 1. Memory clocks (clock_ratio per system cycle, both paths).
+        let mut completions: Vec<(usize, Completion)> = Vec::new();
+        for p in 0..2 {
+            for _ in 0..self.cfg.clock_ratio {
+                for c in self.paths[p].ctrl.tick() {
+                    completions.push((p, c));
+                }
+            }
+        }
+        // 2. Flow Match / write retirement.
+        for (p, c) in completions {
+            self.handle_mem_completion(p, c);
+        }
+        // 3. Housekeeping scan.
+        if self.cfg.housekeeping_period_sys > 0
+            && self.now_sys.is_multiple_of(self.cfg.housekeeping_period_sys)
+        {
+            self.housekeeping();
+        }
+        // 4. Update unit (Req_Arb: one deletion, one insertion per cycle).
+        self.process_delete();
+        self.process_insert();
+        // 5. BWr_Gen release check.
+        for p in 0..2 {
+            self.bwr_release(p);
+        }
+        // 6. Sequencer: CAM stage then admission.
+        self.cam_stage_pop();
+        self.admit_from_queue();
+        // 7. DLUs push work into the controllers.
+        for p in 0..2 {
+            self.dlu_issue(p);
+        }
+    }
+
+    fn handle_mem_completion(&mut self, path: usize, c: Completion) {
+        let tag = self
+            .mem_tags
+            .remove(&c.id)
+            .expect("completion for unknown request");
+        match tag {
+            MemTag::LookupPart { asm, part } => {
+                let done = {
+                    let a = self.assemblies.get_mut(&asm).expect("live assembly");
+                    debug_assert_eq!(a.path, path);
+                    debug_assert_eq!(c.kind, AccessKind::Read);
+                    a.parts[part as usize] = Some(c.data.expect("reads carry data"));
+                    a.got += 1;
+                    a.got == self.bursts_per_bucket
+                };
+                if done {
+                    let a = self.assemblies.remove(&asm).expect("live assembly");
+                    self.flow_match(a);
+                }
+            }
+            MemTag::WritePart {
+                path: wpath,
+                bucket,
+                covers,
+                last,
+            } => {
+                debug_assert_eq!(wpath, path);
+                if last {
+                    let remaining = self.paths[path]
+                        .pending_write_buckets
+                        .get_mut(&bucket)
+                        .expect("write completion for unmarked bucket");
+                    *remaining = remaining.saturating_sub(covers);
+                    if *remaining == 0 {
+                        self.paths[path].pending_write_buckets.remove(&bucket);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Flow Match block: compare the assembled bucket against the
+    /// descriptor's key; on LU1 miss redirect to the other path, on LU2
+    /// miss raise an insertion.
+    fn flow_match(&mut self, a: ReadAssembly) {
+        let bytes: Vec<u8> = a
+            .parts
+            .into_iter()
+            .flat_map(|p| p.expect("assembly complete"))
+            .collect();
+        let ds = &self.descs[a.desc];
+        let key = ds.desc.key;
+        let k = usize::from(self.cfg.table.entries_per_bucket);
+        match codec::find_key(&bytes, self.cfg.table.entry_slot_bytes, k, &key) {
+            Some(slot) => {
+                let path = PathId::from_index(a.path);
+                let fid = FlowId::encode(
+                    Location::Mem {
+                        path,
+                        bucket: a.bucket,
+                        slot,
+                    },
+                    self.cfg.table.entries_per_bucket,
+                );
+                let via = match a.stage {
+                    LuStage::Lu1 => ResolvedVia::Lu1Hit(path),
+                    LuStage::Lu2 => ResolvedVia::Lu2Hit(path),
+                };
+                self.complete(a.desc, via, Some(fid));
+            }
+            None => match a.stage {
+                LuStage::Lu1 => {
+                    let other = a.path ^ 1;
+                    let bucket = if other == 0 {
+                        self.descs[a.desc].buckets.0
+                    } else {
+                        self.descs[a.desc].buckets.1
+                    };
+                    self.paths[other].read_q.push_back(ReadIntent {
+                        desc: a.desc,
+                        stage: LuStage::Lu2,
+                        bucket,
+                    });
+                }
+                LuStage::Lu2 => {
+                    self.ins_q.push_back(a.desc);
+                }
+            },
+        }
+    }
+
+    fn complete(&mut self, desc: usize, via: ResolvedVia, fid: Option<FlowId>) {
+        let now = self.now_sys;
+        let key;
+        {
+            let ds = &mut self.descs[desc];
+            debug_assert!(ds.t_done.is_none(), "descriptor completed twice");
+            ds.t_done = Some(now);
+            ds.via = Some(via);
+            ds.fid = fid;
+            key = ds.desc.key;
+            let latency = now - ds.t_admit;
+            self.stats.total_latency_sys += latency;
+            self.stats.max_latency_sys = self.stats.max_latency_sys.max(latency);
+        }
+        self.stats.completed += 1;
+        self.last_completion_cycle = now;
+        match via {
+            ResolvedVia::CamHit => self.stats.cam_hits += 1,
+            ResolvedVia::Lu1Hit(_) => self.stats.lu1_hits += 1,
+            ResolvedVia::Lu2Hit(_) => self.stats.lu2_hits += 1,
+            ResolvedVia::InsertedMem(_) => self.stats.inserted_mem += 1,
+            ResolvedVia::InsertedCam => self.stats.inserted_cam += 1,
+            ResolvedVia::DuplicateRace => self.stats.duplicate_races += 1,
+            ResolvedVia::Dropped => self.stats.drops += 1,
+        }
+        // Flow-state records.
+        let now_ns = (now as f64 * self.cfg.sys_period_ns()) as u64;
+        let frame = u64::from(self.descs[desc].desc.frame_bytes);
+        if let Some(fid) = fid {
+            if via.is_new_flow() {
+                self.flow_state.on_new_flow(fid, key, now_ns, frame);
+            } else {
+                self.flow_state.on_packet(fid, now_ns, frame);
+            }
+        }
+        self.in_flight -= 1;
+        // Release the next same-key waiter into the CAM stage.
+        self.inflight_keys.remove(&key);
+        if let Some(waiters) = self.wait_by_key.get_mut(&key) {
+            if let Some(next) = waiters.pop_front() {
+                if waiters.is_empty() {
+                    self.wait_by_key.remove(&key);
+                }
+                self.admit(next);
+            } else {
+                self.wait_by_key.remove(&key);
+            }
+        }
+    }
+
+    fn admit(&mut self, desc: usize) {
+        let key = self.descs[desc].desc.key;
+        debug_assert!(!self.inflight_keys.contains(&key));
+        self.inflight_keys.insert(key);
+        self.descs[desc].t_admit = self.now_sys;
+        self.stats.admitted += 1;
+        self.in_flight += 1;
+        self.cam_pipe
+            .push_back((self.now_sys + self.cfg.cam_latency_sys, desc));
+    }
+
+    fn admit_from_queue(&mut self) {
+        if self.in_flight >= self.cfg.max_in_flight {
+            return;
+        }
+        let Some(idx) = self.seq_q.pop_front() else {
+            return;
+        };
+        let key = self.descs[idx].desc.key;
+        if self.inflight_keys.contains(&key) {
+            // Request Filter waiting list: same-flow order preservation.
+            self.stats.same_key_holds += 1;
+            self.wait_by_key.entry(key).or_default().push_back(idx);
+            return;
+        }
+        self.admit(idx);
+    }
+
+    /// Pops at most one descriptor whose CAM-stage latency has elapsed:
+    /// CAM hits complete here; misses are dispatched to a path.
+    ///
+    /// Dispatch applies DLU back-pressure: a descriptor whose target
+    /// path's LU1 queue is at [`SimConfig::dlu_queue_depth`] stalls in
+    /// the CAM pipe (head-of-line, as a hardware FIFO would). LU2
+    /// redirects are exempt — they drain existing work and blocking them
+    /// could deadlock the pipeline.
+    fn cam_stage_pop(&mut self) {
+        let ready = self
+            .cam_pipe
+            .front()
+            .is_some_and(|&(t, _)| t <= self.now_sys);
+        if !ready {
+            return;
+        }
+        let (_, idx) = *self.cam_pipe.front().expect("checked non-empty");
+        let key = self.descs[idx].desc.key;
+        if let Some(fid) = self.table.cam_peek(&key) {
+            self.cam_pipe.pop_front();
+            self.complete(idx, ResolvedVia::CamHit, Some(fid));
+            return;
+        }
+        // The load balancer decides once; a full DLU stalls the pipe
+        // rather than re-routing (hardware honours the configured split).
+        let path = match self.descs[idx].first_path {
+            Some(p) => p,
+            None => {
+                let p = self.choose_path(idx);
+                self.descs[idx].first_path = Some(p);
+                p
+            }
+        };
+        if self.paths[path.index()]
+            .read_q
+            .iter()
+            .filter(|r| r.stage == LuStage::Lu1)
+            .count()
+            >= self.cfg.dlu_queue_depth
+        {
+            // DLU full: stall the sequencer this cycle.
+            self.stats.input_stall_cycles += 1;
+            return;
+        }
+        self.cam_pipe.pop_front();
+        self.stats.lu1_per_path[path.index()] += 1;
+        let bucket = match path {
+            PathId::A => self.descs[idx].buckets.0,
+            PathId::B => self.descs[idx].buckets.1,
+        };
+        self.paths[path.index()].read_q.push_back(ReadIntent {
+            desc: idx,
+            stage: LuStage::Lu1,
+            bucket,
+        });
+    }
+
+    fn choose_path(&mut self, desc: usize) -> PathId {
+        match self.cfg.load_balancer {
+            LoadBalancerPolicy::HashSplit => {
+                if self.descs[desc].hashes.0 & 1 == 0 {
+                    PathId::A
+                } else {
+                    PathId::B
+                }
+            }
+            LoadBalancerPolicy::FixedRatio { path_a_permille } => {
+                // Bernoulli split from a private xorshift stream rather
+                // than strict interleave: deterministic alternation would
+                // correlate with periodic stimulus patterns (e.g. the
+                // bank-increment hashes) and skew per-path bank coverage.
+                self.lb_acc ^= self.lb_acc << 13;
+                self.lb_acc ^= self.lb_acc >> 17;
+                self.lb_acc ^= self.lb_acc << 5;
+                let threshold =
+                    (u64::from(u32::MAX) + 1) * u64::from(path_a_permille) / 1000;
+                if u64::from(self.lb_acc) < threshold {
+                    PathId::A
+                } else {
+                    PathId::B
+                }
+            }
+            LoadBalancerPolicy::QueueDepth => {
+                let load = |p: usize| self.paths[p].read_q.len() + self.paths[p].ctrl.queued_len();
+                if load(0) <= load(1) {
+                    PathId::A
+                } else {
+                    PathId::B
+                }
+            }
+        }
+    }
+
+    fn housekeeping(&mut self) {
+        let now_ns = (self.now_sys as f64 * self.cfg.sys_period_ns()) as u64;
+        for (_, record) in self
+            .flow_state
+            .idle_candidates(now_ns, self.cfg.flow_timeout_ns)
+        {
+            self.del_q.push_back(DelReq::Expire(record.key));
+        }
+    }
+
+    fn process_delete(&mut self) {
+        let Some(req) = self.del_q.pop_front() else {
+            return;
+        };
+        let key = match req {
+            DelReq::Expire(key) => {
+                // Re-validate: the flow may have received traffic (or a
+                // same-key descriptor may be in flight) since the scan.
+                if self.inflight_keys.contains(&key) {
+                    return;
+                }
+                let Some(fid) = self.table.peek(&key) else {
+                    return; // already gone (duplicate candidate)
+                };
+                let now_ns = (self.now_sys as f64 * self.cfg.sys_period_ns()) as u64;
+                match self.flow_state.get(fid) {
+                    Some(r) if r.idle_ns(now_ns) > self.cfg.flow_timeout_ns => {}
+                    _ => return, // re-activated or record already gone
+                }
+                self.stats.housekeeping_expired += 1;
+                key
+            }
+            DelReq::User(key) => key,
+        };
+        if let Some(fid) = self.table.delete(&key) {
+            self.stats.deletes += 1;
+            let _ = self.flow_state.remove(fid);
+            if let Location::Mem { path, bucket, .. } =
+                fid.decode(self.cfg.table.entries_per_bucket)
+            {
+                self.add_update_intent(path.index(), bucket);
+            }
+        }
+    }
+
+    fn process_insert(&mut self) {
+        let Some(idx) = self.ins_q.pop_front() else {
+            return;
+        };
+        let key = self.descs[idx].desc.key;
+        // Duplicate-race guard (unreachable under the same-key waiting
+        // list, but kept as a correctness backstop).
+        if let Some(fid) = self.table.peek(&key) {
+            self.complete(idx, ResolvedVia::DuplicateRace, Some(fid));
+            return;
+        }
+        let (b1, b2) = self.descs[idx].buckets;
+        // The final miss was detected by the LU2 path's Flow Match, whose
+        // Ins_req goes to its own Updt block: prefer that path's bucket.
+        let prefer = self.descs[idx]
+            .first_path
+            .expect("inserting descriptor was dispatched")
+            .other();
+        match self.table.insert_with_buckets_preferring(key, b1, b2, prefer) {
+            Ok(fid) => match fid.decode(self.cfg.table.entries_per_bucket) {
+                Location::Mem { path, bucket, .. } => {
+                    self.add_update_intent(path.index(), bucket);
+                    self.complete(idx, ResolvedVia::InsertedMem(path), Some(fid));
+                }
+                Location::Cam(_) => {
+                    self.complete(idx, ResolvedVia::InsertedCam, Some(fid));
+                }
+            },
+            Err(InsertError::TableFull) => match self.cfg.full_table_policy {
+                FullTablePolicy::Drop => {
+                    self.complete(idx, ResolvedVia::Dropped, None);
+                }
+                FullTablePolicy::EvictIdlest => {
+                    if let Some(victim) = self.coldest_candidate(b1, b2) {
+                        // Evict the victim now, then retry this insert on
+                        // a later cycle (the eviction's bucket write must
+                        // be ordered first).
+                        self.del_q.push_back(DelReq::User(victim));
+                        self.stats.evictions += 1;
+                        self.ins_q.push_front(idx);
+                    } else {
+                        // Candidates are all CAM-resident or in flight:
+                        // nothing safely evictable.
+                        self.complete(idx, ResolvedVia::Dropped, None);
+                    }
+                }
+            },
+            Err(InsertError::Duplicate(_)) => unreachable!("peeked above"),
+        }
+    }
+
+    /// The least-recently-seen resident of the two candidate buckets,
+    /// skipping keys with in-flight descriptors (evicting those would
+    /// race their completion).
+    fn coldest_candidate(&self, b1: u32, b2: u32) -> Option<FlowKey> {
+        let mut best: Option<(u64, FlowKey)> = None;
+        for (path, bucket) in [(PathId::A, b1), (PathId::B, b2)] {
+            for slot in self.table.bucket_slots(path, bucket) {
+                let Some(key) = slot else { continue };
+                if self.inflight_keys.contains(&key) {
+                    continue;
+                }
+                let Some(fid) = self.table.peek(&key) else { continue };
+                let last_seen = self
+                    .flow_state
+                    .get(fid)
+                    .map_or(0, |r| r.last_seen_ns);
+                if best.map_or(true, |(b, _)| last_seen < b) {
+                    best = Some((last_seen, key));
+                }
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    fn add_update_intent(&mut self, path: usize, bucket: u32) {
+        let p = &mut self.paths[path];
+        p.bwr_pending.push(bucket);
+        *p.pending_write_buckets.entry(bucket).or_insert(0) += 1;
+        p.bwr_first_cycle.get_or_insert(self.now_sys);
+    }
+
+    /// BWr_Gen: releases the accumulated updates as a burst of writes
+    /// when the count threshold is reached or the oldest update times
+    /// out.
+    fn bwr_release(&mut self, path: usize) {
+        let now = self.now_sys;
+        let (by_count, by_timeout) = {
+            let p = &self.paths[path];
+            if p.bwr_pending.is_empty() {
+                return;
+            }
+            let by_count = p.bwr_pending.len() >= self.cfg.bwr_threshold;
+            let by_timeout = p
+                .bwr_first_cycle
+                .is_some_and(|t| now - t >= self.cfg.bwr_timeout_sys);
+            (by_count, by_timeout)
+        };
+        if !by_count && !by_timeout {
+            return;
+        }
+        if by_count {
+            self.stats.bwr_count_releases += 1;
+        } else {
+            self.stats.bwr_timeout_releases += 1;
+        }
+        let p = &mut self.paths[path];
+        // Coalesce intents per bucket: one write retires them all.
+        let mut covers: HashMap<u32, u32> = HashMap::new();
+        for bucket in p.bwr_pending.drain(..) {
+            *covers.entry(bucket).or_insert(0) += 1;
+        }
+        p.bwr_first_cycle = None;
+        let mut buckets: Vec<(u32, u32)> = covers.into_iter().collect();
+        buckets.sort_unstable(); // deterministic release order
+        for (bucket, covers) in buckets {
+            p.write_q.push_back(WriteIntent { bucket, covers });
+        }
+    }
+
+    /// The DLU: moves held writes and reads into the memory controller,
+    /// respecting the request filter and the bank-selection ablation.
+    fn dlu_issue(&mut self, path: usize) {
+        // Ablation: without bank selection the path keeps a single
+        // request outstanding — no bank-level parallelism.
+        let serialize = !self.cfg.bank_select_enabled;
+        if serialize && !self.paths[path].ctrl.is_drained() {
+            return;
+        }
+        let bursts = self.bursts_per_bucket as usize;
+
+        // Writes first: they unblock held reads.
+        while let Some(&w) = self.paths[path].write_q.front() {
+            let room = self.cfg.controller_queue
+                >= self.paths[path].ctrl.queued_len() + bursts;
+            if !room {
+                break;
+            }
+            self.paths[path].write_q.pop_front();
+            self.issue_bucket_write(path, w);
+            if serialize {
+                return;
+            }
+        }
+
+        // Reads: scan the queue once, holding filtered buckets.
+        let n = self.paths[path].read_q.len();
+        for _ in 0..n {
+            let Some(r) = self.paths[path].read_q.pop_front() else {
+                break;
+            };
+            if self.paths[path]
+                .pending_write_buckets
+                .contains_key(&r.bucket)
+            {
+                // Request Filter: a write to this bucket is pending.
+                self.stats.filter_hold_cycles += 1;
+                self.paths[path].read_q.push_back(r);
+                continue;
+            }
+            let room =
+                self.cfg.controller_queue >= self.paths[path].ctrl.queued_len() + bursts;
+            if !room {
+                self.paths[path].read_q.push_front(r);
+                break;
+            }
+            self.issue_bucket_read(path, r);
+            if serialize {
+                return;
+            }
+        }
+    }
+
+    fn issue_bucket_read(&mut self, path: usize, r: ReadIntent) {
+        let asm = self.next_asm_id;
+        self.next_asm_id += 1;
+        self.assemblies.insert(
+            asm,
+            ReadAssembly {
+                desc: r.desc,
+                stage: r.stage,
+                path,
+                bucket: r.bucket,
+                parts: vec![None; self.bursts_per_bucket as usize],
+                got: 0,
+            },
+        );
+        for j in 0..self.bursts_per_bucket {
+            let id = self.next_mem_id;
+            self.next_mem_id += 1;
+            let addr = u64::from(r.bucket) * u64::from(self.bursts_per_bucket) + u64::from(j);
+            self.mem_tags.insert(id, MemTag::LookupPart { asm, part: j });
+            self.paths[path]
+                .ctrl
+                .enqueue(MemRequest::read(id, addr))
+                .expect("DLU checked controller room");
+            self.stats.reads_issued += 1;
+        }
+    }
+
+    fn issue_bucket_write(&mut self, path: usize, w: WriteIntent) {
+        let slots = self
+            .table
+            .bucket_slots(PathId::from_index(path), w.bucket);
+        let total = self.bursts_per_bucket as usize * self.burst_bytes;
+        let bytes = codec::serialize_bucket(&slots, self.cfg.table.entry_slot_bytes, total);
+        for j in 0..self.bursts_per_bucket {
+            let id = self.next_mem_id;
+            self.next_mem_id += 1;
+            let addr = u64::from(w.bucket) * u64::from(self.bursts_per_bucket) + u64::from(j);
+            let chunk =
+                bytes[j as usize * self.burst_bytes..(j as usize + 1) * self.burst_bytes].to_vec();
+            let last = j + 1 == self.bursts_per_bucket;
+            self.mem_tags.insert(
+                id,
+                MemTag::WritePart {
+                    path,
+                    bucket: w.bucket,
+                    covers: w.covers,
+                    last,
+                },
+            );
+            self.paths[path]
+                .ctrl
+                .enqueue(MemRequest::write(id, addr, chunk))
+                .expect("DLU checked controller room");
+            self.stats.writes_issued += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,149 @@
+//! Error types for the DDR3 model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::device::Command;
+
+/// A command was issued to the device before its JEDEC timing constraints
+/// were satisfied, or in an illegal bank state.
+///
+/// The device model refuses illegal commands instead of silently accepting
+/// them so that scheduler bugs surface as hard errors in tests rather than
+/// as optimistic performance numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// The offending command.
+    pub command: Command,
+    /// The cycle at which the command was attempted.
+    pub at: u64,
+    /// The earliest cycle at which the command would have been legal, if
+    /// the device can determine one (`None` for state errors such as
+    /// reading from an idle bank).
+    pub earliest_legal: Option<u64>,
+    /// Human-readable constraint name, e.g. `"tRCD"` or `"bank not active"`.
+    pub constraint: &'static str,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.earliest_legal {
+            Some(t) => write!(
+                f,
+                "command {:?} at cycle {} violates {} (earliest legal cycle {})",
+                self.command, self.at, self.constraint, t
+            ),
+            None => write!(
+                f,
+                "command {:?} at cycle {} violates {}",
+                self.command, self.at, self.constraint
+            ),
+        }
+    }
+}
+
+impl Error for TimingViolation {}
+
+/// The controller's request queue is full; the caller must apply
+/// back-pressure and retry on a later cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueError {
+    /// Identifier of the rejected request.
+    pub id: u64,
+    /// Capacity of the queue that rejected the request.
+    pub capacity: usize,
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request {} rejected: controller queue full (capacity {})",
+            self.id, self.capacity
+        )
+    }
+}
+
+impl Error for EnqueueError {}
+
+/// A configuration was internally inconsistent (e.g. `tRC < tRAS + tRP`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Description of the inconsistency.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Command;
+
+    #[test]
+    fn timing_violation_displays_constraint() {
+        let v = TimingViolation {
+            command: Command::Precharge { bank: 1 },
+            at: 10,
+            earliest_legal: Some(15),
+            constraint: "tRAS",
+        };
+        let s = v.to_string();
+        assert!(s.contains("tRAS"));
+        assert!(s.contains("15"));
+    }
+
+    #[test]
+    fn timing_violation_without_earliest() {
+        let v = TimingViolation {
+            command: Command::Read {
+                bank: 0,
+                col: 0,
+                auto_precharge: false,
+            },
+            at: 3,
+            earliest_legal: None,
+            constraint: "bank not active",
+        };
+        assert!(v.to_string().contains("bank not active"));
+    }
+
+    #[test]
+    fn enqueue_error_displays_capacity() {
+        let e = EnqueueError {
+            id: 42,
+            capacity: 16,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError::new("tRC too small");
+        assert!(e.to_string().contains("tRC too small"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingViolation>();
+        assert_send_sync::<EnqueueError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

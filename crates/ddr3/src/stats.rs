@@ -1,0 +1,139 @@
+//! Statistics collected by the device and controller models.
+
+/// Counters maintained by [`Ddr3Device`](crate::device::Ddr3Device).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceStats {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// READ commands issued.
+    pub reads: u64,
+    /// WRITE commands issued.
+    pub writes: u64,
+    /// PRECHARGE (single-bank) commands issued.
+    pub precharges: u64,
+    /// PRECHARGE-ALL commands issued.
+    pub precharge_alls: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// Column accesses that hit an already-open row.
+    pub row_hits: u64,
+    /// Activations of a row in an idle bank (row "miss": pure open cost).
+    pub row_misses: u64,
+    /// Activations that required closing a different open row first
+    /// (row conflict; counted at the PRE that closes the conflicting row).
+    pub row_conflicts: u64,
+    /// DQ-bus cycles carrying data.
+    pub dq_busy_cycles: u64,
+    /// Direction switches on the DQ bus (read↔write).
+    pub turnarounds: u64,
+}
+
+impl DeviceStats {
+    /// Fraction of cycles the DQ bus carried data over `elapsed` cycles.
+    ///
+    /// Returns 0 when `elapsed` is 0.
+    pub fn dq_utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.dq_busy_cycles as f64 / elapsed as f64
+        }
+    }
+
+    /// Row-hit rate over all column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let col = self.reads + self.writes;
+        if col == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / col as f64
+        }
+    }
+}
+
+/// Counters maintained by [`MemoryController`](crate::controller::MemoryController).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ControllerStats {
+    /// Requests accepted into the queues.
+    pub accepted: u64,
+    /// Requests rejected for back-pressure.
+    pub rejected: u64,
+    /// Read requests completed.
+    pub reads_done: u64,
+    /// Write requests completed.
+    pub writes_done: u64,
+    /// Sum of (completion − enqueue) latency over completed requests, in
+    /// controller cycles.
+    pub total_latency_cycles: u64,
+    /// Maximum single-request latency observed.
+    pub max_latency_cycles: u64,
+    /// Cycles in which no command could be issued although work was
+    /// queued (a stall: timing fences or bus occupancy).
+    pub stall_cycles: u64,
+    /// Cycles spent with all queues empty.
+    pub idle_cycles: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+}
+
+impl ControllerStats {
+    /// Mean request latency in cycles; 0 if nothing completed.
+    pub fn mean_latency_cycles(&self) -> f64 {
+        let done = self.reads_done + self.writes_done;
+        if done == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / done as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_zero_when_no_time() {
+        let s = DeviceStats::default();
+        assert_eq!(s.dq_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let s = DeviceStats {
+            dq_busy_cycles: 25,
+            ..DeviceStats::default()
+        };
+        assert!((s.dq_utilization(100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_hit_rate_counts_columns() {
+        let s = DeviceStats {
+            reads: 6,
+            writes: 2,
+            row_hits: 4,
+            ..DeviceStats::default()
+        };
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_hit_rate_zero_without_accesses() {
+        assert_eq!(DeviceStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let s = ControllerStats {
+            reads_done: 3,
+            writes_done: 1,
+            total_latency_cycles: 40,
+            ..ControllerStats::default()
+        };
+        assert!((s.mean_latency_cycles() - 10.0).abs() < 1e-12);
+        assert_eq!(ControllerStats::default().mean_latency_cycles(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sparse backing store for simulated DDR3 contents.
+//!
+//! The prototype attaches 512 MByte per memory set; allocating that
+//! eagerly per simulated device would make multi-instance tests and
+//! benches needlessly heavy. [`SparseStorage`] keeps only bursts that have
+//! been written, returning an all-zero burst (DRAM's simulated reset
+//! state) for untouched locations — sufficient because the flow table
+//! treats an all-zero entry as invalid.
+
+use std::collections::HashMap;
+
+/// Sparse burst-addressed byte storage.
+#[derive(Debug, Clone, Default)]
+pub struct SparseStorage {
+    burst_bytes: usize,
+    bursts: HashMap<u64, Vec<u8>>,
+}
+
+impl SparseStorage {
+    /// Creates storage for bursts of `burst_bytes` each (32 for a 32-bit
+    /// bus at BL8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_bytes` is zero.
+    pub fn new(burst_bytes: usize) -> Self {
+        assert!(burst_bytes > 0, "burst size must be non-zero");
+        SparseStorage {
+            burst_bytes,
+            bursts: HashMap::new(),
+        }
+    }
+
+    /// Size of one burst in bytes.
+    #[inline]
+    pub fn burst_bytes(&self) -> usize {
+        self.burst_bytes
+    }
+
+    /// Number of bursts that have been written at least once.
+    #[inline]
+    pub fn resident_bursts(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Reads the burst at `addr`, returning zeroes for untouched bursts.
+    pub fn read_burst(&self, addr: u64) -> Vec<u8> {
+        self.bursts
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| vec![0u8; self.burst_bytes])
+    }
+
+    /// Writes a full burst at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != burst_bytes()`: partial bursts (data
+    /// masking) are not modelled, matching the flow table's full-bucket
+    /// writes.
+    pub fn write_burst(&mut self, addr: u64, data: &[u8]) {
+        assert_eq!(
+            data.len(),
+            self.burst_bytes,
+            "write must be exactly one burst"
+        );
+        self.bursts.insert(addr, data.to_vec());
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.bursts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_bursts_read_zero() {
+        let s = SparseStorage::new(32);
+        assert_eq!(s.read_burst(12345), vec![0u8; 32]);
+        assert_eq!(s.resident_bursts(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = SparseStorage::new(8);
+        let data = [1, 2, 3, 4, 5, 6, 7, 8];
+        s.write_burst(7, &data);
+        assert_eq!(s.read_burst(7), data.to_vec());
+        assert_eq!(s.resident_bursts(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SparseStorage::new(4);
+        s.write_burst(0, &[1, 1, 1, 1]);
+        s.write_burst(0, &[2, 2, 2, 2]);
+        assert_eq!(s.read_burst(0), vec![2, 2, 2, 2]);
+        assert_eq!(s.resident_bursts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one burst")]
+    fn short_write_panics() {
+        let mut s = SparseStorage::new(8);
+        s.write_burst(0, &[0u8; 4]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = SparseStorage::new(4);
+        s.write_burst(1, &[9; 4]);
+        s.clear();
+        assert_eq!(s.resident_bursts(), 0);
+        assert_eq!(s.read_burst(1), vec![0; 4]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The H3 universal hash family.
+//!
+//! H3 hashes a `w`-bit key by XOR-ing together a random 32-bit word for
+//! every set key bit: `h(x) = ⊕ { q[i] : x[i] = 1 }`. In hardware this is
+//! a pure XOR tree — single-cycle, trivially pipelined — which makes H3
+//! the textbook choice for FPGA hash tables and the natural reading of
+//! the paper's "two pre-selected hash functions". Choosing independent
+//! `q` matrices yields the independent functions the two-choice table
+//! needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::HashFunction;
+
+/// An H3 universal hash over keys of at most `key_bits` bits.
+///
+/// Keys shorter than `key_bits` are treated as zero-padded (XOR of
+/// nothing); keys longer than `key_bits` are rejected — the matrix is a
+/// synthesized circuit of fixed width, exactly as on an FPGA.
+#[derive(Debug, Clone)]
+pub struct H3Hash {
+    /// One random word per key bit.
+    matrix: Vec<u32>,
+    seed: u64,
+}
+
+impl H3Hash {
+    /// Builds an H3 function for keys up to `key_bits` bits, with matrix
+    /// entries drawn from a deterministic RNG seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bits` is zero.
+    pub fn with_seed(key_bits: usize, seed: u64) -> Self {
+        assert!(key_bits > 0, "key width must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        H3Hash {
+            matrix: (0..key_bits).map(|_| rng.gen()).collect(),
+            seed,
+        }
+    }
+
+    /// Maximum key width in bits.
+    pub fn key_bits(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// The seed the matrix was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl HashFunction for H3Hash {
+    /// # Panics
+    ///
+    /// Panics if `key.len() * 8 > key_bits()` — the circuit has no inputs
+    /// for the extra bits, and truncating silently would corrupt flow
+    /// identity.
+    fn hash(&self, key: &[u8]) -> u32 {
+        assert!(
+            key.len() * 8 <= self.matrix.len(),
+            "key of {} bits exceeds H3 circuit width {}",
+            key.len() * 8,
+            self.matrix.len()
+        );
+        let mut acc = 0u32;
+        for (byte_idx, &byte) in key.iter().enumerate() {
+            let mut b = byte;
+            let mut bit_idx = byte_idx * 8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= self.matrix[bit_idx];
+                }
+                b >>= 1;
+                bit_idx += 1;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = H3Hash::with_seed(64, 42);
+        let b = H3Hash::with_seed(64, 42);
+        let c = H3Hash::with_seed(64, 43);
+        assert_eq!(a.hash(b"12345678"), b.hash(b"12345678"));
+        assert_ne!(a.hash(b"12345678"), c.hash(b"12345678"));
+    }
+
+    #[test]
+    fn zero_key_hashes_to_zero() {
+        let h = H3Hash::with_seed(32, 1);
+        assert_eq!(h.hash(&[0, 0, 0, 0]), 0);
+        assert_eq!(h.hash(&[]), 0);
+    }
+
+    #[test]
+    fn linear_over_xor() {
+        // H3 is GF(2)-linear: h(x ^ y) = h(x) ^ h(y).
+        let h = H3Hash::with_seed(32, 7);
+        let x = [0b1010_0001u8, 3, 9, 200];
+        let y = [0b0110_1100u8, 250, 1, 17];
+        let xy: Vec<u8> = x.iter().zip(&y).map(|(a, b)| a ^ b).collect();
+        assert_eq!(h.hash(&xy), h.hash(&x) ^ h.hash(&y));
+    }
+
+    #[test]
+    fn single_bit_key_selects_matrix_entry() {
+        let h = H3Hash::with_seed(16, 5);
+        // Key with only bit 9 set (second byte, bit 1).
+        let key = [0u8, 0b0000_0010];
+        assert_eq!(h.hash(&key), h.matrix[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds H3 circuit width")]
+    fn oversized_key_panics() {
+        let h = H3Hash::with_seed(16, 5);
+        let _ = h.hash(&[0, 0, 0]);
+    }
+}

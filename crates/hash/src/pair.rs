@@ -1,0 +1,100 @@
+//! Two-choice pair hashing.
+
+use crate::HashFunction;
+
+/// The "two pre-selected hash functions" of the paper, packaged as one
+/// object that yields both bucket indices for a key.
+///
+/// The two functions should be drawn from independent families (e.g. a
+/// CRC-32 and an H3 with a private seed, or two H3 instances with
+/// different seeds) so bucket choices are statistically independent —
+/// the property the two-choice load-balancing argument rests on.
+#[derive(Debug)]
+pub struct PairHasher {
+    h1: Box<dyn HashFunction>,
+    h2: Box<dyn HashFunction>,
+}
+
+impl PairHasher {
+    /// Combines two hash functions.
+    pub fn new(h1: Box<dyn HashFunction>, h2: Box<dyn HashFunction>) -> Self {
+        PairHasher { h1, h2 }
+    }
+
+    /// A ready-made pair for keys up to `key_bits` bits: two H3 functions
+    /// with distinct seeds derived from `seed`.
+    pub fn h3_pair(key_bits: usize, seed: u64) -> Self {
+        PairHasher {
+            h1: Box::new(crate::H3Hash::with_seed(key_bits, seed.wrapping_mul(2).wrapping_add(1))),
+            h2: Box::new(crate::H3Hash::with_seed(
+                key_bits,
+                seed.wrapping_mul(2).wrapping_add(2),
+            )),
+        }
+    }
+
+    /// Both raw 32-bit hashes of `key`.
+    pub fn hashes(&self, key: &[u8]) -> (u32, u32) {
+        (self.h1.hash(key), self.h2.hash(key))
+    }
+
+    /// Both bucket indices of `key` in tables of `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn bucket_pair(&self, key: &[u8], buckets: u32) -> (u32, u32) {
+        (self.h1.bucket(key, buckets), self.h2.bucket(key, buckets))
+    }
+
+    /// The first hash function.
+    pub fn first(&self) -> &dyn HashFunction {
+        self.h1.as_ref()
+    }
+
+    /// The second hash function.
+    pub fn second(&self) -> &dyn HashFunction {
+        self.h2.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crc32, H3Hash};
+
+    #[test]
+    fn pair_is_deterministic() {
+        let p = PairHasher::h3_pair(64, 11);
+        assert_eq!(p.hashes(b"12345678"), p.hashes(b"12345678"));
+    }
+
+    #[test]
+    fn two_functions_disagree() {
+        let p = PairHasher::new(
+            Box::new(Crc32::ieee()),
+            Box::new(H3Hash::with_seed(64, 5)),
+        );
+        // On a sample of keys the two hashes should differ (independence
+        // smoke test: identical functions would defeat two-choice).
+        let mut same = 0;
+        for i in 0..100u64 {
+            let key = i.to_le_bytes();
+            let (a, b) = p.hashes(&key);
+            if a == b {
+                same += 1;
+            }
+        }
+        assert!(same < 3, "{same} collisions between supposedly independent hashes");
+    }
+
+    #[test]
+    fn bucket_pair_in_range() {
+        let p = PairHasher::h3_pair(64, 1);
+        for i in 0..50u64 {
+            let key = i.to_le_bytes();
+            let (a, b) = p.bucket_pair(&key, 37);
+            assert!(a < 37 && b < 37);
+        }
+    }
+}

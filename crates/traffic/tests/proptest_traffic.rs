@@ -1,0 +1,90 @@
+//! Property tests for keys, workloads and line-rate arithmetic.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use flowlut_traffic::linerate::EthernetLink;
+use flowlut_traffic::workloads::{bucket_to_hash, MatchRateWorkload};
+use flowlut_traffic::{FiveTuple, FlowKey, MAX_KEY_BYTES};
+
+proptest! {
+    /// FlowKey round-trips arbitrary byte strings within bounds.
+    #[test]
+    fn flow_key_roundtrip(bytes in prop::collection::vec(any::<u8>(), 1..=MAX_KEY_BYTES)) {
+        let k = FlowKey::new(&bytes).unwrap();
+        prop_assert_eq!(k.as_bytes(), &bytes[..]);
+        prop_assert_eq!(k.len(), bytes.len());
+        let k2 = FlowKey::try_from(&bytes[..]).unwrap();
+        prop_assert_eq!(k, k2);
+    }
+
+    /// Equal keys hash equal; differing content or length means unequal.
+    #[test]
+    fn flow_key_identity(
+        a in prop::collection::vec(any::<u8>(), 1..16),
+        b in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let ka = FlowKey::new(&a).unwrap();
+        let kb = FlowKey::new(&b).unwrap();
+        prop_assert_eq!(ka == kb, a == b);
+    }
+
+    /// FiveTuple byte layout is injective over the index expansion.
+    #[test]
+    fn five_tuple_expansion_injective(a in any::<u32>(), b in any::<u32>()) {
+        let ta = FiveTuple::from_index(u64::from(a));
+        let tb = FiveTuple::from_index(u64::from(b));
+        if a != b {
+            prop_assert_ne!(ta.to_bytes(), tb.to_bytes());
+        } else {
+            prop_assert_eq!(ta, tb);
+        }
+    }
+
+    /// bucket_to_hash inverts the high-multiply reduction for any target.
+    #[test]
+    fn bucket_to_hash_inverse(buckets in 1u32..=u32::MAX, frac in 0.0f64..1.0) {
+        let bucket = ((f64::from(buckets) - 1.0) * frac) as u32;
+        let h = bucket_to_hash(bucket, buckets);
+        let reduced = ((u64::from(h) * u64::from(buckets)) >> 32) as u32;
+        prop_assert_eq!(reduced, bucket);
+    }
+
+    /// The match-rate workload realises its configured rate and keeps
+    /// miss keys disjoint from the preload set.
+    #[test]
+    fn match_rate_realised(
+        table_size in 16usize..512,
+        queries in 64usize..512,
+        rate_permille in 0u32..=1000,
+        seed in any::<u64>(),
+    ) {
+        let w = MatchRateWorkload {
+            table_size,
+            queries,
+            match_rate: f64::from(rate_permille) / 1000.0,
+            seed,
+        };
+        let set = w.build();
+        let preload: HashSet<FlowKey> = set.preload.iter().copied().collect();
+        let hits = set.queries.iter().filter(|q| preload.contains(&q.key)).count();
+        let realised = hits as f64 / queries as f64;
+        // Rounding to whole queries bounds the error by 1/queries.
+        prop_assert!(
+            (realised - w.match_rate).abs() <= 1.0 / queries as f64 + 1e-9,
+            "configured {} realised {realised}",
+            w.match_rate
+        );
+    }
+
+    /// Line-rate arithmetic: packet rate scales linearly with speed and
+    /// inversely with slot size; achievable_gbps inverts packet_rate.
+    #[test]
+    fn line_rate_inverts(gbps in 1.0f64..400.0, l1 in 64u32..1600, ifg in 1u32..13) {
+        let link = EthernetLink { gbps };
+        let mpps = link.packet_rate_mpps(l1, ifg);
+        let back = EthernetLink::achievable_gbps(mpps, l1, ifg);
+        prop_assert!((back - gbps).abs() < 1e-9);
+    }
+}

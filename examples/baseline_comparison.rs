@@ -1,0 +1,120 @@
+//! Related-work shoot-out: the paper's table vs every baseline.
+//!
+//! Compares, at equal capacity: (1) how far each structure loads before
+//! its first insertion failure, (2) DRAM probes per lookup at 50% load,
+//! and (3) relocation overhead — the three axes the related-work section
+//! argues about.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use flowlut::baselines::{
+    BloomCamTable, CuckooTable, DLeftTable, FlowTable, OneMoveTable, SimultaneousHashCam,
+    SingleHashTable,
+};
+use flowlut::core::{HashCamTable, LookupStage, TableConfig};
+use flowlut::traffic::{FiveTuple, FlowKey};
+
+fn key(i: u64) -> FlowKey {
+    FlowKey::from(FiveTuple::from_index(i))
+}
+
+/// Capacity target for every structure (± rounding).
+const CAPACITY: u64 = 8192;
+
+fn baselines() -> Vec<Box<dyn FlowTable>> {
+    vec![
+        Box::new(SingleHashTable::new(4096, 2, 77)),
+        Box::new(DLeftTable::new(2, 2048, 2, 77)),
+        Box::new(CuckooTable::new(4096, 1, 500, 77)),
+        Box::new(OneMoveTable::new(2, 2048, 2, 64, 77)),
+        Box::new(BloomCamTable::new(7936, 256, 77)),
+        Box::new(SimultaneousHashCam::new(2048, 2, 256, 77)),
+    ]
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>12}",
+        "structure", "capacity", "load@1st fail", "reads/lookup", "relocations"
+    );
+    println!("{}", "-".repeat(78));
+
+    // Baselines.
+    for mut t in baselines() {
+        // Phase 1: load until first failure.
+        let mut first_fail = None;
+        for i in 0..CAPACITY * 2 {
+            if t.insert(key(i)).is_err() {
+                first_fail = Some(i);
+                break;
+            }
+        }
+        let fail_load = first_fail.map_or(1.0, |n| n as f64 / t.capacity() as f64);
+
+        // Phase 2: probes per lookup at the achieved load (hits + misses).
+        let resident = t.len() as u64;
+        let before = t.op_stats();
+        for i in 0..resident / 2 {
+            t.contains(&key(i));
+        }
+        for i in CAPACITY * 4..CAPACITY * 4 + resident / 2 {
+            t.contains(&key(i));
+        }
+        let after = t.op_stats();
+        let lookups = after.lookups - before.lookups;
+        let reads = (after.mem_reads - before.mem_reads) as f64 / lookups.max(1) as f64;
+
+        println!(
+            "{:<22} {:>10} {:>13.1}% {:>14.2} {:>12}",
+            t.name(),
+            t.capacity(),
+            100.0 * fail_load,
+            reads,
+            after.relocations
+        );
+    }
+
+    // The paper's table (functional layer), same capacity.
+    let mut ours = HashCamTable::new(TableConfig {
+        buckets_per_mem: 1984,
+        entries_per_bucket: 2,
+        cam_capacity: 256,
+        entry_slot_bytes: 16,
+        hash_seed: 77,
+    });
+    let mut first_fail = None;
+    for i in 0..CAPACITY * 2 {
+        if ours.insert(key(i)).is_err() {
+            first_fail = Some(i);
+            break;
+        }
+    }
+    let fail_load = first_fail.map_or(1.0, |n| n as f64 / ours.config().capacity() as f64);
+    // Early-exit read accounting: CAM hit = 0 DRAM reads, MemA hit = 1,
+    // MemB hit or miss = 2.
+    let resident = ours.len();
+    let mut reads = 0u64;
+    let mut lookups = 0u64;
+    for i in (0..resident / 2).chain(CAPACITY * 4..CAPACITY * 4 + resident / 2) {
+        lookups += 1;
+        reads += match ours.lookup(&key(i)) {
+            Some((_, LookupStage::Cam)) => 0,
+            Some((_, LookupStage::MemA)) => 1,
+            Some((_, LookupStage::MemB)) | None => 2,
+        };
+    }
+    println!(
+        "{:<22} {:>10} {:>13.1}% {:>14.2} {:>12}",
+        "hashcam (this paper)",
+        ours.config().capacity(),
+        100.0 * fail_load,
+        reads as f64 / lookups as f64,
+        0
+    );
+
+    println!(
+        "\nreading the table: the paper's scheme loads deep (two choices + CAM), \
+         needs no insert-time relocations (vs cuckoo/one-move), and its early \
+         exit keeps DRAM reads/lookup below the simultaneous Hash-CAM's 2.0."
+    );
+}

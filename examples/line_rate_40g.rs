@@ -1,0 +1,63 @@
+//! Can this table keep up with 40 Gigabit Ethernet?
+//!
+//! Reproduces the discussion-section analysis as an interactive check:
+//! derives the packet-rate requirement from Layer-1 framing, measures
+//! the engine's sustained rate across realistic miss rates, and reports
+//! the headroom.
+//!
+//! Run with: `cargo run --release --example line_rate_40g`
+
+use flowlut::core::{FlowLutSim, SimConfig};
+use flowlut::traffic::linerate::{EthernetLink, MIN_L1_PACKET_BYTES, STANDARD_IFG_BYTES};
+use flowlut::traffic::workloads::MatchRateWorkload;
+
+fn main() {
+    let link = EthernetLink::forty_gbe();
+    let required = link.min_packet_rate_standard_ifg_mpps();
+    let worst = link.min_packet_rate_worst_case_mpps();
+    println!("40 GbE requirement at 72-byte Layer-1 packets:");
+    println!("  standard 12-byte IFG : {required:.2} Mpps");
+    println!("  1-byte IFG worst case: {worst:.2} Mpps\n");
+
+    println!("measured sustained rate (10k-flow table, prototype configuration):");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "miss rate", "Mdesc/s", "Gbps", "verdict"
+    );
+    for miss in [1.0, 0.75, 0.5, 0.25, 0.1, 0.02] {
+        let cfg = SimConfig::default();
+        let mut sim = FlowLutSim::new(cfg);
+        let set = MatchRateWorkload {
+            table_size: 10_000,
+            queries: 10_000,
+            match_rate: 1.0 - miss,
+            seed: 40,
+        }
+        .build();
+        sim.preload(set.preload.iter().copied()).unwrap();
+        let report = sim.run(&set.queries);
+        let gbps = EthernetLink::achievable_gbps(
+            report.mdesc_per_s,
+            MIN_L1_PACKET_BYTES,
+            STANDARD_IFG_BYTES,
+        );
+        let verdict = if report.mdesc_per_s >= required {
+            "40G OK"
+        } else {
+            "short"
+        };
+        println!(
+            "{:>9.0}% {:>12.2} {:>10.1} {:>10}",
+            miss * 100.0,
+            report.mdesc_per_s,
+            gbps,
+            verdict
+        );
+    }
+
+    println!(
+        "\nthe paper's operating point: with a large table the steady-state miss \
+         rate stays below ~2% (Figure 6), where the engine clears 40G with \
+         >50% headroom."
+    );
+}

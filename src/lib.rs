@@ -1,0 +1,50 @@
+//! # flowlut — memory-efficient flow processing on simulated DDR3 SDRAM
+//!
+//! A full reproduction of *"A Hardware Acceleration Scheme for
+//! Memory-Efficient Flow Processing"* (Xin Yang, Sakir Sezer, Shane
+//! O'Neill — IEEE SOCC 2014): a network-flow lookup table that reaches
+//! 40 GbE-class lookup rates out of commodity DDR3 SDRAM via two-choice
+//! Hash-CAM hashing, a dual-path lookup pipeline with early exit, bank
+//! aware request scheduling, and burst-grouped updates.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the paper's contribution: the functional
+//!   [`HashCamTable`](flowlut_core::HashCamTable) and the cycle-stepped
+//!   [`FlowLutSim`](flowlut_core::FlowLutSim);
+//! * [`ddr3`] — the DDR3 device + controller timing model;
+//! * [`cam`] — binary/ternary CAM models;
+//! * [`hash`] — CRC-32 / H3 / Toeplitz hardware hashes;
+//! * [`traffic`] — flow keys, workloads, the synthetic
+//!   fabric trace, and Ethernet line-rate arithmetic;
+//! * [`baselines`] — related-work comparators;
+//! * [`analyzer`] — the Figure 7 real-time traffic
+//!   analyzer (packet buffer + event engine + stats engine).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use flowlut::core::{HashCamTable, TableConfig};
+//! use flowlut::traffic::{FiveTuple, FlowKey};
+//!
+//! let mut table = HashCamTable::new(TableConfig::test_small());
+//! let key = FlowKey::from(FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 80, 443, 6));
+//! let (fid, created) = table.lookup_or_insert(key)?;
+//! assert!(created);
+//! assert_eq!(table.lookup(&key).map(|(id, _)| id), Some(fid));
+//! # Ok::<(), flowlut::core::InsertError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flowlut_analyzer as analyzer;
+pub use flowlut_baselines as baselines;
+pub use flowlut_cam as cam;
+pub use flowlut_core as core;
+pub use flowlut_ddr3 as ddr3;
+pub use flowlut_hash as hash;
+pub use flowlut_traffic as traffic;
