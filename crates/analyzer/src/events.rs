@@ -114,12 +114,7 @@ impl EventEngine {
     }
 
     /// Per-batch hook: surge, pressure and drop detection.
-    pub fn on_batch_end(
-        &mut self,
-        report: &SimReport,
-        table: &HashCamTable,
-        out: &mut Vec<Event>,
-    ) {
+    pub fn on_batch_end(&mut self, report: &SimReport, table: &HashCamTable, out: &mut Vec<Event>) {
         if report.completed > 0 {
             let fraction = report.stats.miss_rate();
             if fraction > self.thresholds.surge_new_flow_fraction {
@@ -163,8 +158,7 @@ mod tests {
         });
         // One flow sending 30 x 72B = 2160 bytes: crosses 1000 once.
         let key = FlowKey::from(FiveTuple::from_index(7));
-        let pkts: Vec<PacketDescriptor> =
-            (0..30).map(|i| PacketDescriptor::new(i, key)).collect();
+        let pkts: Vec<PacketDescriptor> = (0..30).map(|i| PacketDescriptor::new(i, key)).collect();
         let out = a.process(&pkts);
         let elephants: Vec<_> = out
             .events
@@ -237,14 +231,15 @@ mod tests {
             .collect();
         let out = a.process(&pkts);
         assert!(
-            out.events.iter().any(|e| matches!(e, Event::FlowDrops { .. })),
+            out.events
+                .iter()
+                .any(|e| matches!(e, Event::FlowDrops { .. })),
             "{:?}",
             out.events
         );
-        assert!(
-            out.events
-                .iter()
-                .any(|e| matches!(e, Event::TablePressure { .. })),
-        );
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::TablePressure { .. })),);
     }
 }

@@ -148,8 +148,7 @@ impl StatsEngine {
 
     /// Top `n` flows by packet count.
     pub fn top_flows(&self, n: usize) -> Vec<(FlowId, u64)> {
-        let mut v: Vec<(FlowId, u64)> =
-            self.flow_packets.iter().map(|(&f, &c)| (f, c)).collect();
+        let mut v: Vec<(FlowId, u64)> = self.flow_packets.iter().map(|(&f, &c)| (f, c)).collect();
         v.sort_by_key(|&(f, c)| (std::cmp::Reverse(c), f));
         v.truncate(n);
         v
@@ -175,7 +174,9 @@ mod tests {
     fn histogram_buckets_cover_u16() {
         for size in [0u16, 72, 127, 128, 511, 512, 1024, 9000, u16::MAX] {
             assert!(
-                SIZE_BUCKETS.iter().any(|&(lo, hi)| size >= lo && size <= hi),
+                SIZE_BUCKETS
+                    .iter()
+                    .any(|&(lo, hi)| size >= lo && size <= hi),
                 "size {size} uncovered"
             );
         }

@@ -312,11 +312,8 @@ mod tests {
             f.insert(&key_bytes(i));
         }
         let absent: Vec<[u8; 13]> = (100_000..110_000).map(key_bytes).collect();
-        let fp_p = absent
-            .iter()
-            .filter(|k| p.maybe_contains(&k[..]))
-            .count() as f64
-            / absent.len() as f64;
+        let fp_p =
+            absent.iter().filter(|k| p.maybe_contains(&k[..])).count() as f64 / absent.len() as f64;
         let fp_f = measure_fpp(&f, absent.iter().map(|k| &k[..]));
         assert!(fp_p < 0.1 && fp_f < 0.1, "parallel {fp_p}, flat {fp_f}");
     }

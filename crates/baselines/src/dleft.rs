@@ -32,10 +32,15 @@ impl DLeftTable {
     ///
     /// Panics if any dimension is zero.
     pub fn new(d: usize, buckets_per_table: u32, k: usize, seed: u64) -> Self {
-        assert!(d > 0 && buckets_per_table > 0 && k > 0, "dimensions must be non-zero");
+        assert!(
+            d > 0 && buckets_per_table > 0 && k > 0,
+            "dimensions must be non-zero"
+        );
         DLeftTable {
             hashes: (0..d)
-                .map(|i| H3Hash::with_seed(8 * flowlut_traffic::MAX_KEY_BYTES, seed ^ (i as u64 + 1)))
+                .map(|i| {
+                    H3Hash::with_seed(8 * flowlut_traffic::MAX_KEY_BYTES, seed ^ (i as u64 + 1))
+                })
                 .collect(),
             tables: (0..d)
                 .map(|_| (0..buckets_per_table).map(|_| vec![None; k]).collect())

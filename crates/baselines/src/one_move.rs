@@ -10,13 +10,14 @@ use crate::traits::{BaselineFullError, FlowTable, OpStats};
 /// \[9\] (Kirsch & Mitzenmacher, "The Power of One Move: Hashing Schemes
 /// for Hardware").
 ///
-/// Insertion tries the key's `d` candidate buckets; if all are full it
-/// attempts **exactly one** relocation — moving one resident of a
-/// candidate bucket to one of *its* alternate buckets — before falling
-/// back to a small overflow CAM (64 entries in \[9\]). The paper's
-/// concern, "the additional move during insertion is impractical for
-/// high speed requirements", is measurable here via
-/// [`OpStats::relocations`] and the extra reads/writes moves cost.
+/// Insertion places the key in the emptiest candidate bucket; if all are
+/// full it attempts **exactly one** relocation — moving one resident of a
+/// candidate bucket either to one of *its* alternate buckets or, failing
+/// that, into the small overflow CAM (64 entries in \[9\]) — and takes
+/// the freed slot. The paper's concern, "the additional move during
+/// insertion is impractical for high speed requirements", is measurable
+/// here via [`OpStats::relocations`] and the extra reads/writes moves
+/// cost.
 #[derive(Debug)]
 pub struct OneMoveTable {
     hashes: Vec<H3Hash>,
@@ -25,6 +26,7 @@ pub struct OneMoveTable {
     cam: Cam<FlowKey>,
     len: usize,
     stats: OpStats,
+    tie_break: usize,
 }
 
 impl OneMoveTable {
@@ -39,7 +41,10 @@ impl OneMoveTable {
         OneMoveTable {
             hashes: (0..d)
                 .map(|i| {
-                    H3Hash::with_seed(8 * flowlut_traffic::MAX_KEY_BYTES, seed ^ (0x100 + i as u64))
+                    H3Hash::with_seed(
+                        8 * flowlut_traffic::MAX_KEY_BYTES,
+                        seed ^ (0x100 + i as u64),
+                    )
                 })
                 .collect(),
             tables: (0..d)
@@ -49,6 +54,7 @@ impl OneMoveTable {
             cam: Cam::new(cam_capacity),
             len: 0,
             stats: OpStats::default(),
+            tie_break: 0,
         }
     }
 
@@ -62,15 +68,30 @@ impl OneMoveTable {
     }
 
     fn try_direct_insert(&mut self, key: &FlowKey) -> Option<()> {
-        for t in 0..self.hashes.len() {
+        // Balanced multiple-choice placement (\[9\] builds on the MHT of
+        // balanced allocations): take the emptiest candidate bucket, and
+        // break ties round-robin so no table saturates ahead of the
+        // others — a saturated table starves the one-move stage of free
+        // alternate slots.
+        let d = self.hashes.len();
+        let mut best: Option<(usize, usize, usize)> = None;
+        for offset in 0..d {
+            let t = (self.tie_break + offset) % d;
             let b = self.bucket_of(t, key);
-            if let Some(slot) = self.tables[t][b].iter().position(|s| s.is_none()) {
-                self.tables[t][b][slot] = Some(*key);
-                self.stats.mem_writes += 1;
-                return Some(());
+            let free = self.tables[t][b].iter().filter(|s| s.is_none()).count();
+            if free > 0 && best.is_none_or(|(best_free, _, _)| free > best_free) {
+                best = Some((free, t, b));
             }
         }
-        None
+        let (_, t, b) = best?;
+        self.tie_break = (self.tie_break + 1) % d;
+        let slot = self.tables[t][b]
+            .iter()
+            .position(|s| s.is_none())
+            .expect("bucket with free > 0 has an empty slot");
+        self.tables[t][b][slot] = Some(*key);
+        self.stats.mem_writes += 1;
+        Some(())
     }
 
     /// Attempts the single move: find a resident of one of `key`'s
@@ -103,6 +124,30 @@ impl OneMoveTable {
         }
         None
     }
+
+    /// Last-resort single move: every alternate bucket is full, so move
+    /// one resident of a candidate bucket into the overflow CAM (the
+    /// stash absorbing failed moves in \[9\]) and give `key` its DRAM
+    /// slot. Keeps new flows in the hash memories, where lookups are
+    /// cheapest, and still counts as exactly one move.
+    fn try_move_to_cam(&mut self, key: &FlowKey) -> Option<()> {
+        if self.cam.len() == self.cam.capacity() {
+            return None;
+        }
+        let t = self.tie_break % self.hashes.len();
+        let b = self.bucket_of(t, key);
+        let slot = (0..self.k).find(|&s| self.tables[t][b][s].is_some())?;
+        let resident = self.tables[t][b][slot]
+            .take()
+            .expect("slot checked occupied");
+        self.cam
+            .insert(resident)
+            .expect("CAM capacity checked above");
+        self.tables[t][b][slot] = Some(*key);
+        self.stats.mem_writes += 1;
+        self.stats.relocations += 1;
+        Some(())
+    }
 }
 
 impl FlowTable for OneMoveTable {
@@ -113,16 +158,16 @@ impl FlowTable for OneMoveTable {
     fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
         self.stats.inserts += 1;
         self.stats.mem_reads += self.hashes.len() as u64;
-        if self.try_direct_insert(&key).is_some() || self.try_one_move(&key).is_some() {
+        if self.try_direct_insert(&key).is_some()
+            || self.try_one_move(&key).is_some()
+            || self.try_move_to_cam(&key).is_some()
+        {
             self.len += 1;
-            return Ok(());
-        }
-        match self.cam.insert(key) {
-            Ok(_) => {
-                self.len += 1;
-                Ok(())
-            }
-            Err(_) => Err(BaselineFullError { table: self.name() }),
+            Ok(())
+        } else {
+            // try_move_to_cam only fails when the CAM itself is full, so
+            // there is nowhere left to place the key.
+            Err(BaselineFullError { table: self.name() })
         }
     }
 

@@ -18,7 +18,9 @@ use flowlut_traffic::workloads::MatchRateWorkload;
 use flowlut_traffic::{FiveTuple, FlowKey};
 
 fn keys(range: std::ops::Range<u64>) -> Vec<FlowKey> {
-    range.map(|i| FlowKey::from(FiveTuple::from_index(i))).collect()
+    range
+        .map(|i| FlowKey::from(FiveTuple::from_index(i)))
+        .collect()
 }
 
 /// Early exit vs simultaneous: average DRAM reads per lookup at a 50%
@@ -106,7 +108,10 @@ fn ablation_bank_selection(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let rate = sim_mdesc(cfg, 0.5);
-        eprintln!("bank selection {}: {rate:.2} Mdesc/s at 50% miss", if enabled { "ON " } else { "OFF" });
+        eprintln!(
+            "bank selection {}: {rate:.2} Mdesc/s at 50% miss",
+            if enabled { "ON " } else { "OFF" }
+        );
     }
     let mut group = c.benchmark_group("ablation_bank_selection_host");
     group.sample_size(10);

@@ -5,7 +5,9 @@ use flowlut_hash::{Crc32, H3Hash, HashFunction, PairHasher, ToeplitzHash};
 use flowlut_traffic::FiveTuple;
 
 fn keys(n: u64) -> Vec<[u8; 13]> {
-    (0..n).map(|i| FiveTuple::from_index(i).to_bytes()).collect()
+    (0..n)
+        .map(|i| FiveTuple::from_index(i).to_bytes())
+        .collect()
 }
 
 fn bench_hashes(c: &mut Criterion) {

@@ -10,7 +10,9 @@ use flowlut_core::{HashCamTable, TableConfig};
 use flowlut_traffic::{FiveTuple, FlowKey};
 
 fn keys(range: std::ops::Range<u64>) -> Vec<FlowKey> {
-    range.map(|i| FlowKey::from(FiveTuple::from_index(i))).collect()
+    range
+        .map(|i| FlowKey::from(FiveTuple::from_index(i)))
+        .collect()
 }
 
 /// ~8k-entry capacity for every structure, loaded to 50%.

@@ -12,8 +12,8 @@ fn measured_rate_at_miss(miss: f64) -> f64 {
     let cfg = SimConfig::default();
     let mut sim = FlowLutSim::new(cfg);
     let w = MatchRateWorkload {
-        table_size: 10_000,
-        queries: 10_000,
+        table_size: flowlut_bench::scaled(10_000),
+        queries: flowlut_bench::scaled(10_000),
         match_rate: 1.0 - miss,
         seed: 0xD15C,
     };
@@ -47,7 +47,11 @@ fn main() {
     let req = link.min_packet_rate_standard_ifg_mpps();
     for miss in [0.5, 0.4, 0.25, 0.02] {
         let rate = measured_rate_at_miss(miss);
-        let verdict = if rate >= req { "meets 40G" } else { "below 40G" };
+        let verdict = if rate >= req {
+            "meets 40G"
+        } else {
+            "below 40G"
+        };
         println!(
             "  miss {:>4.0}% -> {rate:>6.2} Mdesc/s ({verdict}, requirement {req:.2})",
             miss * 100.0
@@ -56,19 +60,17 @@ fn main() {
 
     // 3. Steady-state miss rate from the fabric trace: with a large
     // table, the new-flow (miss) fraction drops below a few percent.
-    let trace = FabricTraceProfile::european_2012().generate(1_000_000);
-    let steady_miss = new_flow_ratio(&trace, 1_000_000);
+    let trace_len = flowlut_bench::scaled(1_000_000);
+    let trace = FabricTraceProfile::european_2012().generate(trace_len);
+    let steady_miss = new_flow_ratio(&trace, trace_len);
     println!(
         "\nsteady-state new-flow fraction on the fabric trace: {:.2}% \
          (paper: <=2% at 8M concurrent flows)",
         100.0 * steady_miss
     );
     let rate_low_miss = measured_rate_at_miss(steady_miss.min(0.05));
-    let gbps = EthernetLink::achievable_gbps(
-        rate_low_miss,
-        MIN_L1_PACKET_BYTES,
-        STANDARD_IFG_BYTES,
-    );
+    let gbps =
+        EthernetLink::achievable_gbps(rate_low_miss, MIN_L1_PACKET_BYTES, STANDARD_IFG_BYTES);
     println!(
         "at that miss rate the engine sustains {rate_low_miss:.2} Mdesc/s = {gbps:.1} Gbps \
          of 72-byte packets (paper: >94 Mdesc/s -> >50 Gbps)"

@@ -30,8 +30,10 @@ fn main() {
         }
     };
 
+    // Smoke mode trims the simulated sweep; the analytic curve is free.
+    let max_bursts: u32 = if flowlut_bench::smoke_mode() { 4 } else { 35 };
     let mut curve = Vec::new();
-    for n in 1..=35u32 {
+    for n in 1..=max_bursts {
         let a = analytic_utilization(&timing, &model, n);
         let s = simulate_utilization(timing, model, n, 6);
         curve.push((f64::from(n), a));
@@ -48,10 +50,7 @@ fn main() {
     let _ = flowlut_bench::write_csv("fig3_curve", &["bursts_per_group", "dq_utilization"], &csv);
 
     println!("\nutilization curve (analytic):");
-    ascii_plot(
-        &curve.iter().step_by(2).copied().collect::<Vec<_>>(),
-        50,
-    );
+    ascii_plot(&curve.iter().step_by(2).copied().collect::<Vec<_>>(), 50);
     println!(
         "\nmodel: util(N) = 8N / (8N + 32): JEDEC turnaround floor (13 ck) plus \
          the quarter-rate controller bubble (19 ck) calibrated to the paper's \

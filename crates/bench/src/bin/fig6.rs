@@ -14,10 +14,14 @@ fn main() {
         profile.exponent, profile.flows, profile.seed
     );
 
-    let trace = profile.generate(1_000_000);
-    let windows = [
+    let packets = flowlut_bench::scaled(1_000_000);
+    let trace = profile.generate(packets);
+    let windows: Vec<usize> = [
         1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
-    ];
+    ]
+    .into_iter()
+    .filter(|&w| w <= packets)
+    .collect();
 
     println!("{:>10} {:>12} {:>10}", "packets A", "flows B", "B/A");
     println!("{}", "-".repeat(36));
@@ -37,22 +41,25 @@ fn main() {
         Row::new(
             "B/A at 1k packets (paper: 570 flows)",
             57.0,
-            100.0 * new_flow_ratio(&trace, 1_000),
+            100.0 * new_flow_ratio(&trace, 1_000.min(packets)),
         ),
         Row::new(
             "B/A at 10k packets",
             33.81,
-            100.0 * new_flow_ratio(&trace, 10_000),
+            100.0 * new_flow_ratio(&trace, 10_000.min(packets)),
         ),
         Row::new(
             "B/A at 1M packets (paper: <10%)",
             10.0,
-            100.0 * new_flow_ratio(&trace, 1_000_000),
+            100.0 * new_flow_ratio(&trace, 1_000_000.min(packets)),
         ),
     ];
     print_comparison("Figure 6 anchor points", "% new flows", &rows);
     flowlut_bench::save_comparison("fig6_anchors", &rows);
-    let csv: Vec<Vec<String>> = curve.iter().map(|&(w, r)| vec![format!("{w}"), format!("{r:.6}")]).collect();
+    let csv: Vec<Vec<String>> = curve
+        .iter()
+        .map(|&(w, r)| vec![format!("{w}"), format!("{r:.6}")])
+        .collect();
     let _ = flowlut_bench::write_csv("fig6_curve", &["packets", "new_flow_ratio"], &csv);
     println!(
         "\nshape check: B/A decays monotonically with window size and falls \

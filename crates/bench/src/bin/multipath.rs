@@ -12,15 +12,15 @@
 use flowlut_core::{MultiHashConfig, MultiHashTable};
 use flowlut_traffic::{FiveTuple, FlowKey};
 
-const TOTAL_SLOTS: u32 = 1 << 16; // 64Ki entry slots across all memories
-
 fn key(i: u64) -> FlowKey {
     FlowKey::from(FiveTuple::from_index(i))
 }
 
 fn main() {
+    // 64Ki entry slots across all memories (scaled down in smoke mode).
+    let total_slots = flowlut_bench::scaled(1 << 16) as u32;
     println!("Multi-path multi-hashing study (future work of the paper)");
-    println!("equal total memory ({TOTAL_SLOTS} slots), K = 2 entries/bucket, 1Ki CAM\n");
+    println!("equal total memory ({total_slots} slots), K = 2 entries/bucket, 1Ki CAM\n");
     println!(
         "{:>3} {:>8} | {:>14} {:>14} {:>16}",
         "d", "load", "CAM spill", "probes/hit", "probes/miss"
@@ -29,7 +29,7 @@ fn main() {
 
     for d in [2u8, 3, 4] {
         for load in [0.5f64, 0.75, 0.9, 0.95] {
-            let buckets = TOTAL_SLOTS / (2 * u32::from(d));
+            let buckets = total_slots / (2 * u32::from(d));
             let mut t = MultiHashTable::new(MultiHashConfig {
                 paths: d,
                 buckets_per_mem: buckets,
@@ -37,7 +37,7 @@ fn main() {
                 cam_capacity: 1024,
                 hash_seed: 0x600D,
             });
-            let n = (f64::from(TOTAL_SLOTS) * load) as u64;
+            let n = (f64::from(total_slots) * load) as u64;
             let mut spilled = 0u64;
             for i in 0..n {
                 match t.insert(key(i)) {
@@ -55,8 +55,7 @@ fn main() {
             for i in (0..n).step_by(stride as usize).take(sample as usize) {
                 let _ = t.lookup(&key(i));
             }
-            let hit_probes =
-                (t.stats().probes - before.probes) as f64 / sample as f64;
+            let hit_probes = (t.stats().probes - before.probes) as f64 / sample as f64;
 
             println!(
                 "{d:>3} {:>7.0}% | {spilled:>7} ({:>4.2}%) {hit_probes:>14.3} {:>16}",

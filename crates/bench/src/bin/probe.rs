@@ -2,9 +2,9 @@
 //! numbers for the default configuration so calibration drift is visible
 //! during development.
 
+use flowlut_core::LoadBalancerPolicy;
 use flowlut_core::{FlowLutSim, SimConfig};
 use flowlut_traffic::workloads::{HashPattern, HashPatternWorkload, MatchRateWorkload};
-use flowlut_core::LoadBalancerPolicy;
 
 fn main() {
     println!("== Table II(B) probe: miss-rate sweep, 10k preload, 10k queries ==");
@@ -12,8 +12,8 @@ fn main() {
         let cfg = SimConfig::default();
         let mut sim = FlowLutSim::new(cfg);
         let w = MatchRateWorkload {
-            table_size: 10_000,
-            queries: 10_000,
+            table_size: flowlut_bench::scaled(10_000),
+            queries: flowlut_bench::scaled(10_000),
             match_rate: 1.0 - miss,
             seed: 1,
         };
@@ -49,7 +49,7 @@ fn main() {
         let mut sim = FlowLutSim::new(cfg);
         let w = HashPatternWorkload {
             pattern,
-            count: 10_000,
+            count: flowlut_bench::scaled(10_000),
             buckets,
             banks: 8,
             seed: 3,

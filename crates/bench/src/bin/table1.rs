@@ -40,8 +40,16 @@ fn main() {
             paper_table1::REGISTERS as f64,
             est.total.registers as f64,
         ),
-        Row::new("Total PLLs", f64::from(paper_table1::PLLS), f64::from(est.plls)),
-        Row::new("Total DLLs", f64::from(paper_table1::DLLS), f64::from(est.dlls)),
+        Row::new(
+            "Total PLLs",
+            f64::from(paper_table1::PLLS),
+            f64::from(est.plls),
+        ),
+        Row::new(
+            "Total DLLs",
+            f64::from(paper_table1::DLLS),
+            f64::from(est.dlls),
+        ),
     ];
     print_comparison("Table I: paper vs model", "count", &rows);
     flowlut_bench::save_comparison("table1", &rows);

@@ -29,7 +29,7 @@ fn run_row(pattern: HashPattern, policy: LoadBalancerPolicy) -> (f64, f64) {
         let mut sim = FlowLutSim::new(cfg);
         let w = HashPatternWorkload {
             pattern,
-            count: 10_000,
+            count: flowlut_bench::scaled(10_000),
             buckets,
             banks,
             seed: 0xA11CE,
@@ -58,14 +58,18 @@ fn main() {
         (
             "Unique hash, bank increment, 50.0% on A",
             HashPattern::BankIncrement,
-            LoadBalancerPolicy::FixedRatio { path_a_permille: 500 },
+            LoadBalancerPolicy::FixedRatio {
+                path_a_permille: 500,
+            },
             44.59,
             0.500,
         ),
         (
             "Unique hash, bank increment, 25.0% on A",
             HashPattern::BankIncrement,
-            LoadBalancerPolicy::FixedRatio { path_a_permille: 250 },
+            LoadBalancerPolicy::FixedRatio {
+                path_a_permille: 250,
+            },
             41.09,
             0.250,
         ),

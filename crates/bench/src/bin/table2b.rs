@@ -25,8 +25,8 @@ fn run_row(miss_rate: f64) -> f64 {
         };
         let mut sim = FlowLutSim::new(cfg);
         let w = MatchRateWorkload {
-            table_size: 10_000,
-            queries: 10_000,
+            table_size: flowlut_bench::scaled(10_000),
+            queries: flowlut_bench::scaled(10_000),
             match_rate: 1.0 - miss_rate,
             seed: 0xB0B,
         };

@@ -52,12 +52,33 @@ impl Row {
     }
 }
 
+/// True when the binary was invoked with `--smoke`: CI smoke mode, where
+/// every experiment runs on a drastically scaled-down workload so all
+/// eight paper-artefact binaries can be run-checked in seconds. Output
+/// in smoke mode is *not* comparable to the paper.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Scales a workload size down in smoke mode (×1/100, floor 64),
+/// passing it through untouched otherwise.
+pub fn scaled(n: usize) -> usize {
+    if smoke_mode() {
+        (n / 100).max(64)
+    } else {
+        n
+    }
+}
+
 /// Prints a standard comparison table.
 pub fn print_comparison(title: &str, unit: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
         "{:<44} {:>12} {:>12} {:>8}",
-        "test", format!("paper ({unit})"), "measured", "ratio"
+        "test",
+        format!("paper ({unit})"),
+        "measured",
+        "ratio"
     );
     println!("{}", "-".repeat(80));
     for r in rows {
@@ -72,7 +93,12 @@ pub fn print_comparison(title: &str, unit: &str, rows: &[Row]) {
 }
 
 /// Prints a generic two-column series (for figures).
-pub fn print_series<X: Display, Y: Display>(title: &str, x_name: &str, y_name: &str, points: &[(X, Y)]) {
+pub fn print_series<X: Display, Y: Display>(
+    title: &str,
+    x_name: &str,
+    y_name: &str,
+    points: &[(X, Y)],
+) {
     println!("\n=== {title} ===");
     println!("{x_name:>12} {y_name:>16}");
     println!("{}", "-".repeat(30));
@@ -86,7 +112,12 @@ pub fn print_series<X: Display, Y: Display>(title: &str, x_name: &str, y_name: &
 pub fn ascii_plot(points: &[(f64, f64)], width: usize) {
     for &(x, y) in points {
         let bars = (y.clamp(0.0, 1.0) * width as f64).round() as usize;
-        println!("{x:>8.0} | {}{} {:.1}%", "#".repeat(bars), " ".repeat(width - bars), y * 100.0);
+        println!(
+            "{x:>8.0} | {}{} {:.1}%",
+            "#".repeat(bars),
+            " ".repeat(width - bars),
+            y * 100.0
+        );
     }
 }
 
@@ -116,7 +147,15 @@ pub fn write_csv(
             s.to_string()
         }
     };
-    writeln!(f, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         writeln!(
             f,

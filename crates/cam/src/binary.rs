@@ -95,10 +95,7 @@ impl<K: Eq> Cam<K> {
     /// Parallel search; returns the lowest slot index holding `key`.
     pub fn search(&mut self, key: &K) -> Option<usize> {
         self.stats.searches += 1;
-        let hit = self
-            .slots
-            .iter()
-            .position(|s| s.as_ref() == Some(key));
+        let hit = self.slots.iter().position(|s| s.as_ref() == Some(key));
         if hit.is_some() {
             self.stats.hits += 1;
         }

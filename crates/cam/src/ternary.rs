@@ -162,13 +162,7 @@ mod tests {
     fn priority_is_lowest_slot() {
         let mut t = Tcam::new(4);
         // Slot 2: broad wildcard; slot 1: narrower rule.
-        t.write(
-            2,
-            TcamEntry {
-                value: 0,
-                mask: 0,
-            },
-        );
+        t.write(2, TcamEntry { value: 0, mask: 0 });
         t.write(1, TcamEntry::exact(5));
         assert_eq!(t.search(5), Some(1));
         assert_eq!(t.search(77), Some(2));

@@ -29,7 +29,6 @@ pub enum LoadBalancerPolicy {
     QueueDepth,
 }
 
-
 /// What the update unit does when a new flow finds both candidate
 /// buckets *and* the overflow CAM full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

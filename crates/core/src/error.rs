@@ -68,7 +68,9 @@ mod tests {
     #[test]
     fn displays() {
         let id = FlowId::encode(Location::Cam(3), 2);
-        assert!(InsertError::Duplicate(id).to_string().contains("already present"));
+        assert!(InsertError::Duplicate(id)
+            .to_string()
+            .contains("already present"));
         assert!(InsertError::TableFull.to_string().contains("full"));
         assert!(ConfigError::new("bad").to_string().contains("bad"));
     }

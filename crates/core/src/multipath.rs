@@ -140,7 +140,7 @@ impl MultiHashTable {
             counts: vec![0; usize::from(cfg.paths)],
             cam: Cam::new(cfg.cam_capacity),
             cfg,
-        stats: MultiHashStats::default(),
+            stats: MultiHashStats::default(),
         }
     }
 

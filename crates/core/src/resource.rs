@@ -279,7 +279,12 @@ mod tests {
         let est = ResourceModel::default().estimate(&SimConfig::default());
         let err = (est.total.registers as f64 - paper_table1::REGISTERS as f64).abs()
             / paper_table1::REGISTERS as f64;
-        assert!(err < 0.15, "registers {} vs paper {}", est.total.registers, paper_table1::REGISTERS);
+        assert!(
+            err < 0.15,
+            "registers {} vs paper {}",
+            est.total.registers,
+            paper_table1::REGISTERS
+        );
     }
 
     #[test]

@@ -290,9 +290,7 @@ impl FlowLutSim {
     }
 
     fn write_bucket_to_storage(&mut self, path: usize, bucket: u32) {
-        let slots = self
-            .table
-            .bucket_slots(PathId::from_index(path), bucket);
+        let slots = self.table.bucket_slots(PathId::from_index(path), bucket);
         let total = self.bursts_per_bucket as usize * self.burst_bytes;
         let bytes = codec::serialize_bucket(&slots, self.cfg.table.entry_slot_bytes, total);
         for j in 0..self.bursts_per_bucket {
@@ -416,7 +414,9 @@ impl FlowLutSim {
         }
         // 3. Housekeeping scan.
         if self.cfg.housekeeping_period_sys > 0
-            && self.now_sys.is_multiple_of(self.cfg.housekeeping_period_sys)
+            && self
+                .now_sys
+                .is_multiple_of(self.cfg.housekeeping_period_sys)
         {
             self.housekeeping();
         }
@@ -679,8 +679,7 @@ impl FlowLutSim {
                 self.lb_acc ^= self.lb_acc << 13;
                 self.lb_acc ^= self.lb_acc >> 17;
                 self.lb_acc ^= self.lb_acc << 5;
-                let threshold =
-                    (u64::from(u32::MAX) + 1) * u64::from(path_a_permille) / 1000;
+                let threshold = (u64::from(u32::MAX) + 1) * u64::from(path_a_permille) / 1000;
                 if u64::from(self.lb_acc) < threshold {
                     PathId::A
                 } else {
@@ -761,7 +760,10 @@ impl FlowLutSim {
             .first_path
             .expect("inserting descriptor was dispatched")
             .other();
-        match self.table.insert_with_buckets_preferring(key, b1, b2, prefer) {
+        match self
+            .table
+            .insert_with_buckets_preferring(key, b1, b2, prefer)
+        {
             Ok(fid) => match fid.decode(self.cfg.table.entries_per_bucket) {
                 Location::Mem { path, bucket, .. } => {
                     self.add_update_intent(path.index(), bucket);
@@ -805,12 +807,11 @@ impl FlowLutSim {
                 if self.inflight_keys.contains(&key) {
                     continue;
                 }
-                let Some(fid) = self.table.peek(&key) else { continue };
-                let last_seen = self
-                    .flow_state
-                    .get(fid)
-                    .map_or(0, |r| r.last_seen_ns);
-                if best.map_or(true, |(b, _)| last_seen < b) {
+                let Some(fid) = self.table.peek(&key) else {
+                    continue;
+                };
+                let last_seen = self.flow_state.get(fid).map_or(0, |r| r.last_seen_ns);
+                if best.is_none_or(|(b, _)| last_seen < b) {
                     best = Some((last_seen, key));
                 }
             }
@@ -876,8 +877,7 @@ impl FlowLutSim {
 
         // Writes first: they unblock held reads.
         while let Some(&w) = self.paths[path].write_q.front() {
-            let room = self.cfg.controller_queue
-                >= self.paths[path].ctrl.queued_len() + bursts;
+            let room = self.cfg.controller_queue >= self.paths[path].ctrl.queued_len() + bursts;
             if !room {
                 break;
             }
@@ -903,8 +903,7 @@ impl FlowLutSim {
                 self.paths[path].read_q.push_back(r);
                 continue;
             }
-            let room =
-                self.cfg.controller_queue >= self.paths[path].ctrl.queued_len() + bursts;
+            let room = self.cfg.controller_queue >= self.paths[path].ctrl.queued_len() + bursts;
             if !room {
                 self.paths[path].read_q.push_front(r);
                 break;
@@ -934,7 +933,8 @@ impl FlowLutSim {
             let id = self.next_mem_id;
             self.next_mem_id += 1;
             let addr = u64::from(r.bucket) * u64::from(self.bursts_per_bucket) + u64::from(j);
-            self.mem_tags.insert(id, MemTag::LookupPart { asm, part: j });
+            self.mem_tags
+                .insert(id, MemTag::LookupPart { asm, part: j });
             self.paths[path]
                 .ctrl
                 .enqueue(MemRequest::read(id, addr))
@@ -944,9 +944,7 @@ impl FlowLutSim {
     }
 
     fn issue_bucket_write(&mut self, path: usize, w: WriteIntent) {
-        let slots = self
-            .table
-            .bucket_slots(PathId::from_index(path), w.bucket);
+        let slots = self.table.bucket_slots(PathId::from_index(path), w.bucket);
         let total = self.bursts_per_bucket as usize * self.burst_bytes;
         let bytes = codec::serialize_bucket(&slots, self.cfg.table.entry_slot_bytes, total);
         for j in 0..self.bursts_per_bucket {

@@ -63,11 +63,14 @@ fn second_packet_of_flow_matches_first_insert() {
 #[test]
 fn many_packets_same_flow_complete_in_order() {
     let mut sim = FlowLutSim::new(SimConfig::test_small());
-    let burst: Vec<PacketDescriptor> =
-        (0..20).map(|s| PacketDescriptor::new(s, key(7))).collect();
+    let burst: Vec<PacketDescriptor> = (0..20).map(|s| PacketDescriptor::new(s, key(7))).collect();
     let report = sim.run(&burst);
     assert_eq!(report.completed, 20);
-    let times: Vec<u64> = sim.descriptors().iter().map(|d| d.t_done.unwrap()).collect();
+    let times: Vec<u64> = sim
+        .descriptors()
+        .iter()
+        .map(|d| d.t_done.unwrap())
+        .collect();
     for w in times.windows(2) {
         assert!(w[0] <= w[1], "same-flow completion reordered: {times:?}");
     }
@@ -107,7 +110,9 @@ fn cam_hit_completes_without_memory_reads() {
 fn lu2_hit_when_key_lives_on_other_path() {
     // Force all LU1 to path A; a key resident in Mem B then requires LU2.
     let mut cfg = SimConfig::test_small();
-    cfg.load_balancer = LoadBalancerPolicy::FixedRatio { path_a_permille: 1000 };
+    cfg.load_balancer = LoadBalancerPolicy::FixedRatio {
+        path_a_permille: 1000,
+    };
     cfg.table.entries_per_bucket = 1;
     let mut sim = FlowLutSim::new(cfg);
     // With LU1 forced to A, the final miss lands on path B, whose Updt
@@ -139,7 +144,11 @@ fn table_full_drops_are_reported() {
     assert_eq!(report.stats.drops, 1);
     assert_eq!(report.stats.inserted_cam, 2);
     assert_eq!(report.stats.inserted_mem, 2);
-    let dropped: Vec<_> = sim.descriptors().iter().filter(|d| d.fid.is_none()).collect();
+    let dropped: Vec<_> = sim
+        .descriptors()
+        .iter()
+        .filter(|d| d.fid.is_none())
+        .collect();
     assert_eq!(dropped.len(), 1);
 }
 
@@ -157,7 +166,9 @@ fn fixed_ratio_zero_sends_everything_to_b() {
 #[test]
 fn fixed_ratio_quarter_realised() {
     let mut cfg = SimConfig::test_small();
-    cfg.load_balancer = LoadBalancerPolicy::FixedRatio { path_a_permille: 250 };
+    cfg.load_balancer = LoadBalancerPolicy::FixedRatio {
+        path_a_permille: 250,
+    };
     let mut sim = FlowLutSim::new(cfg);
     let report = sim.run(&descs(0..1000));
     let share = report.stats.load_share_a();
@@ -352,7 +363,10 @@ fn input_rate_limits_throughput() {
     // At 100% match the engine keeps up with the input, so the measured
     // rate tracks the offered rate.
     assert!((at_60 - 60.0).abs() < 6.0, "at 60 MHz: {at_60}");
-    assert!(at_100 > at_60, "rate must scale with input: {at_100} vs {at_60}");
+    assert!(
+        at_100 > at_60,
+        "rate must scale with input: {at_100} vs {at_60}"
+    );
 }
 
 #[test]

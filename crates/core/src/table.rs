@@ -334,9 +334,9 @@ impl HashCamTable {
     /// go through DDR3), so it needs the CAM stage in isolation. Does not
     /// touch [`TableStats`] — the simulator keeps its own counters.
     pub fn cam_peek(&self, key: &FlowKey) -> Option<FlowId> {
-        self.cam.peek(key).map(|slot| {
-            FlowId::encode(Location::Cam(slot as u32), self.cfg.entries_per_bucket)
-        })
+        self.cam
+            .peek(key)
+            .map(|slot| FlowId::encode(Location::Cam(slot as u32), self.cfg.entries_per_bucket))
     }
 
     /// Lookup without statistics (for assertions).
@@ -578,20 +578,22 @@ impl HashCamTable {
     /// Iterates over every resident key with its location.
     pub fn iter(&self) -> impl Iterator<Item = (FlowKey, Location)> + '_ {
         let mem_iter = [PathId::A, PathId::B].into_iter().flat_map(move |path| {
-            self.mems[path.index()].iter().flat_map(move |(&bucket, slots)| {
-                slots.iter().enumerate().filter_map(move |(slot, s)| {
-                    s.map(|key| {
-                        (
-                            key,
-                            Location::Mem {
-                                path,
-                                bucket,
-                                slot: slot as u8,
-                            },
-                        )
+            self.mems[path.index()]
+                .iter()
+                .flat_map(move |(&bucket, slots)| {
+                    slots.iter().enumerate().filter_map(move |(slot, s)| {
+                        s.map(|key| {
+                            (
+                                key,
+                                Location::Mem {
+                                    path,
+                                    bucket,
+                                    slot: slot as u8,
+                                },
+                            )
+                        })
                     })
                 })
-            })
         });
         let cam_iter = self
             .cam

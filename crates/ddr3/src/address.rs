@@ -80,7 +80,9 @@ impl Geometry {
             return Err(ConfigError::new("geometry dimensions must be non-zero"));
         }
         if self.bus_width_bits == 0 || !self.bus_width_bits.is_multiple_of(8) {
-            return Err(ConfigError::new("bus width must be a non-zero multiple of 8"));
+            return Err(ConfigError::new(
+                "bus width must be a non-zero multiple of 8",
+            ));
         }
         if self.burst_length == 0 || !self.burst_length.is_multiple_of(2) {
             return Err(ConfigError::new("burst length must be even and non-zero"));
@@ -182,13 +184,21 @@ impl AddressMapping {
     ///
     /// Panics if any component exceeds the geometry.
     pub fn compose(self, geometry: &Geometry, addr: MemAddress) -> u64 {
-        assert!(addr.bank < geometry.banks, "bank {} out of range", addr.bank);
+        assert!(
+            addr.bank < geometry.banks,
+            "bank {} out of range",
+            addr.bank
+        );
         assert!(addr.row < geometry.rows, "row {} out of range", addr.row);
         assert!(addr.col < geometry.cols, "col {} out of range", addr.col);
         let banks = u64::from(geometry.banks);
         let rows = u64::from(geometry.rows);
         let cols = u64::from(geometry.cols);
-        let (bank, row, col) = (u64::from(addr.bank), u64::from(addr.row), u64::from(addr.col));
+        let (bank, row, col) = (
+            u64::from(addr.bank),
+            u64::from(addr.row),
+            u64::from(addr.col),
+        );
         match self {
             AddressMapping::RowBankCol => (row * banks + bank) * cols + col,
             AddressMapping::BankRowCol => (bank * rows + row) * cols + col,

@@ -361,7 +361,9 @@ impl MemoryController {
             self.last_progress = self.now;
         }
 
-        if self.cfg.refresh_enabled && !self.refresh_in_progress && self.now >= self.next_refresh_due
+        if self.cfg.refresh_enabled
+            && !self.refresh_in_progress
+            && self.now >= self.next_refresh_due
         {
             self.refresh_in_progress = true;
         }
@@ -611,9 +613,9 @@ impl MemoryController {
         let burst = t.burst_cycles();
         match q.req.kind {
             AccessKind::Read => {
-                self.write_extra_ok_at = self.write_extra_ok_at.max(
-                    self.now + (t.cl - t.cwl) + burst + 2 + self.cfg.turnaround_extra_rd2wr,
-                );
+                self.write_extra_ok_at = self
+                    .write_extra_ok_at
+                    .max(self.now + (t.cl - t.cwl) + burst + 2 + self.cfg.turnaround_extra_rd2wr);
             }
             AccessKind::Write => {
                 self.read_extra_ok_at = self
@@ -723,7 +725,9 @@ mod tests {
                     col: 0,
                 },
             );
-            interleaved.enqueue(MemRequest::read(u64::from(i), addr)).unwrap();
+            interleaved
+                .enqueue(MemRequest::read(u64::from(i), addr))
+                .unwrap();
         }
         interleaved.drain(100_000);
         let cycles_interleaved = interleaved.now();
@@ -738,7 +742,9 @@ mod tests {
                     col: 0,
                 },
             );
-            single.enqueue(MemRequest::read(u64::from(i), addr)).unwrap();
+            single
+                .enqueue(MemRequest::read(u64::from(i), addr))
+                .unwrap();
         }
         single.drain(100_000);
         let cycles_single = single.now();
@@ -778,7 +784,9 @@ mod tests {
                     col: 0,
                 },
             );
-            conflicts.enqueue(MemRequest::read(u64::from(i), addr)).unwrap();
+            conflicts
+                .enqueue(MemRequest::read(u64::from(i), addr))
+                .unwrap();
         }
         conflicts.drain(100_000);
         assert!(hits.now() < conflicts.now());
@@ -846,7 +854,8 @@ mod tests {
                     col: 8 + i / 4,
                 },
             );
-            c.enqueue(MemRequest::write(id, waddr, vec![0; 32])).unwrap();
+            c.enqueue(MemRequest::write(id, waddr, vec![0; 32]))
+                .unwrap();
             id += 1;
         }
         c.drain(1_000_000);

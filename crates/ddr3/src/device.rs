@@ -182,7 +182,11 @@ impl Ddr3Device {
         if b.open_row() != Some(row) {
             return None;
         }
-        Some(b.read_ready_at().max(self.next_read_cmd).max(self.busy_until))
+        Some(
+            b.read_ready_at()
+                .max(self.next_read_cmd)
+                .max(self.busy_until),
+        )
     }
 
     /// Earliest cycle a `Write` on `bank` is legal, or `None` if the bank
@@ -402,18 +406,14 @@ impl Ddr3Device {
                 // WR may follow a RD only after CL - CWL + burst + 2 (bus
                 // turnaround + ODT switch margin).
                 self.next_read_cmd = self.next_read_cmd.max(now + t.t_ccd);
-                self.next_write_cmd = self
-                    .next_write_cmd
-                    .max(now + (t.cl - t.cwl) + burst + 2);
+                self.next_write_cmd = self.next_write_cmd.max(now + (t.cl - t.cwl) + burst + 2);
                 self.stats.reads += 1;
             }
             ColDir::Write => {
                 self.banks[bank as usize].apply_write(now, t);
                 self.next_write_cmd = self.next_write_cmd.max(now + t.t_ccd);
                 // RD may follow a WR only tWTR after the write data ends.
-                self.next_read_cmd = self
-                    .next_read_cmd
-                    .max(now + t.cwl + burst + t.t_wtr);
+                self.next_read_cmd = self.next_read_cmd.max(now + t.cwl + burst + t.t_wtr);
                 self.stats.writes += 1;
             }
         }
@@ -690,10 +690,13 @@ mod tests {
         let t = *d.timing();
         // Four activates as fast as tRRD allows: at 0, tRRD, 2tRRD, 3tRRD.
         for i in 0..4u64 {
-            d.issue(i * t.t_rrd, Command::Activate {
-                bank: i as u32,
-                row: 0,
-            })
+            d.issue(
+                i * t.t_rrd,
+                Command::Activate {
+                    bank: i as u32,
+                    row: 0,
+                },
+            )
             .unwrap();
         }
         // tiny geometry only has 4 banks; precharge bank 0 after tRAS so a

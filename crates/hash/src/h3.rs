@@ -29,16 +29,76 @@ impl H3Hash {
     /// Builds an H3 function for keys up to `key_bits` bits, with matrix
     /// entries drawn from a deterministic RNG seeded with `seed`.
     ///
+    /// The matrix is *screened*, mirroring the paper's "pre-selected"
+    /// functions: a uniformly random GF(2) matrix can project
+    /// rank-deficiently onto the high output bits that multiply-shift
+    /// bucket reduction consumes, which silently halves (or worse) the
+    /// bucket space for structured keys — sequential IPs and ports are
+    /// exactly what flow tables see. Candidate matrices are redrawn
+    /// deterministically until every byte-aligned window of key bits
+    /// spans the top output bits with full rank. Construction stays a
+    /// pure function of `(key_bits, seed)`.
+    ///
     /// # Panics
     ///
     /// Panics if `key_bits` is zero.
     pub fn with_seed(key_bits: usize, seed: u64) -> Self {
         assert!(key_bits > 0, "key width must be non-zero");
-        let mut rng = StdRng::seed_from_u64(seed);
-        H3Hash {
-            matrix: (0..key_bits).map(|_| rng.gen()).collect(),
-            seed,
+        let mut matrix = Vec::new();
+        for attempt in 0..Self::MAX_SCREEN_ATTEMPTS {
+            let mut rng = StdRng::seed_from_u64(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            matrix = (0..key_bits).map(|_| rng.gen()).collect();
+            if Self::screen(&matrix) {
+                break;
+            }
         }
+        H3Hash { matrix, seed }
+    }
+
+    const MAX_SCREEN_ATTEMPTS: u64 = 64;
+
+    /// Number of high output bits whose coverage is screened (the bits
+    /// bucket reduction uses for tables up to 2^10 buckets).
+    const SCREEN_BITS: u32 = 10;
+
+    /// Accepts a matrix iff every byte-aligned window of 16 key bits
+    /// projects onto the top [`Self::SCREEN_BITS`] output bits with the
+    /// maximum possible rank, so structured keys that vary in any
+    /// contiguous low-bit field spread over all buckets.
+    fn screen(matrix: &[u32]) -> bool {
+        let window = 16.min(matrix.len());
+        let mut start = 0;
+        loop {
+            let rows = &matrix[start..(start + window).min(matrix.len())];
+            let want = (rows.len() as u32).min(Self::SCREEN_BITS);
+            if Self::projected_rank(rows) < want {
+                return false;
+            }
+            if start + window >= matrix.len() {
+                return true;
+            }
+            start += 8;
+        }
+    }
+
+    /// Rank over GF(2) of `rows` projected onto the top
+    /// [`Self::SCREEN_BITS`] bits.
+    fn projected_rank(rows: &[u32]) -> u32 {
+        let mut basis = [0u32; Self::SCREEN_BITS as usize];
+        let mut rank = 0;
+        for &row in rows {
+            let mut v = row >> (32 - Self::SCREEN_BITS);
+            while v != 0 {
+                let lead = (31 - v.leading_zeros()) as usize;
+                if basis[lead] == 0 {
+                    basis[lead] = v;
+                    rank += 1;
+                    break;
+                }
+                v ^= basis[lead];
+            }
+        }
+        rank
     }
 
     /// Maximum key width in bits.

@@ -25,7 +25,10 @@ impl PairHasher {
     /// with distinct seeds derived from `seed`.
     pub fn h3_pair(key_bits: usize, seed: u64) -> Self {
         PairHasher {
-            h1: Box::new(crate::H3Hash::with_seed(key_bits, seed.wrapping_mul(2).wrapping_add(1))),
+            h1: Box::new(crate::H3Hash::with_seed(
+                key_bits,
+                seed.wrapping_mul(2).wrapping_add(1),
+            )),
             h2: Box::new(crate::H3Hash::with_seed(
                 key_bits,
                 seed.wrapping_mul(2).wrapping_add(2),
@@ -71,10 +74,7 @@ mod tests {
 
     #[test]
     fn two_functions_disagree() {
-        let p = PairHasher::new(
-            Box::new(Crc32::ieee()),
-            Box::new(H3Hash::with_seed(64, 5)),
-        );
+        let p = PairHasher::new(Box::new(Crc32::ieee()), Box::new(H3Hash::with_seed(64, 5)));
         // On a sample of keys the two hashes should differ (independence
         // smoke test: identical functions would defeat two-choice).
         let mut same = 0;
@@ -85,7 +85,10 @@ mod tests {
                 same += 1;
             }
         }
-        assert!(same < 3, "{same} collisions between supposedly independent hashes");
+        assert!(
+            same < 3,
+            "{same} collisions between supposedly independent hashes"
+        );
     }
 
     #[test]

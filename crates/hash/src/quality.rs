@@ -13,12 +13,7 @@ use crate::HashFunction;
 /// # Panics
 ///
 /// Panics if `samples` or `key_len` is zero.
-pub fn avalanche_score(
-    f: &dyn HashFunction,
-    key_len: usize,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn avalanche_score(f: &dyn HashFunction, key_len: usize, samples: usize, seed: u64) -> f64 {
     assert!(samples > 0 && key_len > 0);
     let mut total_flips = 0u64;
     let mut trials = 0u64;
@@ -130,6 +125,9 @@ mod tests {
         }
         let keys = sequential_keys(4096);
         let chi = uniformity_chi2(&Constant, &keys, 64);
-        assert!(chi > 50.0, "degenerate hash must fail uniformity, got {chi}");
+        assert!(
+            chi > 50.0,
+            "degenerate hash must fail uniformity, got {chi}"
+        );
     }
 }

@@ -56,8 +56,8 @@ impl FabricTraceProfile {
 
     /// An infinite descriptor stream for this profile.
     pub fn iter(&self) -> FabricTraceIter {
-        let zipf = Zipf::new(self.flows, self.exponent)
-            .expect("profile parameters within Zipf domain");
+        let zipf =
+            Zipf::new(self.flows, self.exponent).expect("profile parameters within Zipf domain");
         FabricTraceIter {
             rng: StdRng::seed_from_u64(self.seed),
             zipf,
@@ -111,10 +111,7 @@ pub fn new_flow_ratio(descriptors: &[PacketDescriptor], window: usize) -> f64 {
 
 /// Evaluates [`new_flow_ratio`] over a series of window sizes, returning
 /// `(window, ratio)` pairs — one Figure 6 curve.
-pub fn new_flow_curve(
-    descriptors: &[PacketDescriptor],
-    windows: &[usize],
-) -> Vec<(usize, f64)> {
+pub fn new_flow_curve(descriptors: &[PacketDescriptor], windows: &[usize]) -> Vec<(usize, f64)> {
     windows
         .iter()
         .map(|&w| (w, new_flow_ratio(descriptors, w)))

@@ -256,7 +256,11 @@ mod tests {
     fn from_index_is_deterministic_and_spread() {
         assert_eq!(FiveTuple::from_index(7), FiveTuple::from_index(7));
         let distinct: HashSet<FiveTuple> = (0..10_000).map(FiveTuple::from_index).collect();
-        assert_eq!(distinct.len(), 10_000, "index expansion must be injective in practice");
+        assert_eq!(
+            distinct.len(),
+            10_000,
+            "index expansion must be injective in practice"
+        );
     }
 
     #[test]

@@ -118,7 +118,7 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<PacketDescriptor>> {
 mod tests {
     use super::*;
     use crate::fabric::FabricTraceProfile;
-    
+
     use crate::workloads::{HashPattern, HashPatternWorkload};
 
     #[test]

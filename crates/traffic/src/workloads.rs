@@ -203,9 +203,16 @@ mod tests {
         };
         let set = w.build();
         let table: HashSet<FlowKey> = set.preload.iter().copied().collect();
-        let hits = set.queries.iter().filter(|q| table.contains(&q.key)).count();
+        let hits = set
+            .queries
+            .iter()
+            .filter(|q| table.contains(&q.key))
+            .count();
         let realised = hits as f64 / set.queries.len() as f64;
-        assert!((realised - 0.25).abs() < 0.01, "realised match rate {realised}");
+        assert!(
+            (realised - 0.25).abs() < 0.01,
+            "realised match rate {realised}"
+        );
     }
 
     #[test]

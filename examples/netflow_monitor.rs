@@ -22,7 +22,10 @@ fn main() {
     let mut sim = FlowLutSim::new(cfg);
 
     let trace = FabricTraceProfile::european_2012().generate(30_000);
-    println!("streaming {} packets from the synthetic fabric trace...", trace.len());
+    println!(
+        "streaming {} packets from the synthetic fabric trace...",
+        trace.len()
+    );
     let report = sim.run(&trace);
 
     println!("\n== engine report ==");
@@ -36,14 +39,20 @@ fn main() {
         "  matches         : {} LU1, {} LU2, {} CAM",
         report.stats.lu1_hits, report.stats.lu2_hits, report.stats.cam_hits
     );
-    println!("  expired by housekeeping: {}", report.stats.housekeeping_expired);
+    println!(
+        "  expired by housekeeping: {}",
+        report.stats.housekeeping_expired
+    );
     println!("  drops (table full)     : {}", report.stats.drops);
 
     // NetFlow-style top talkers.
     let mut records: Vec<_> = sim.flow_state().iter().map(|(id, r)| (id, *r)).collect();
     records.sort_by_key(|(_, r)| std::cmp::Reverse(r.packets));
     println!("\n== top 10 live flows by packets ==");
-    println!("{:<14} {:>8} {:>10} {:>12}", "flow id", "packets", "bytes", "duration us");
+    println!(
+        "{:<14} {:>8} {:>10} {:>12}",
+        "flow id", "packets", "bytes", "duration us"
+    );
     for (id, r) in records.iter().take(10) {
         println!(
             "{:<14} {:>8} {:>10} {:>12.1}",

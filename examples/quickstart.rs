@@ -50,8 +50,14 @@ fn main() {
         .map(|(seq, t)| PacketDescriptor::new(seq as u64, FlowKey::from(*t)))
         .collect();
     let report = sim.run(&descriptors);
-    println!("timed simulation of {} packets over 3 flows:", report.completed);
-    println!("  {:.2} Mdesc/s at a 200 MHz system clock", report.mdesc_per_s);
+    println!(
+        "timed simulation of {} packets over 3 flows:",
+        report.completed
+    );
+    println!(
+        "  {:.2} Mdesc/s at a 200 MHz system clock",
+        report.mdesc_per_s
+    );
     println!(
         "  new flows: {}, matched: {}, mean latency {:.0} ns",
         report.stats.inserted_mem + report.stats.inserted_cam,

@@ -29,38 +29,52 @@ fn main() {
     // Phase 1: normal fabric traffic.
     let normal = FabricTraceProfile::european_2012().generate(15_000);
     let out = analyzer.process(&normal);
-    println!("phase 1: {} fabric packets at {:.1} Mdesc/s", out.processed, out.mdesc_per_s);
-    println!("  events: {:?}", out.events.iter().map(event_name).collect::<Vec<_>>());
+    println!(
+        "phase 1: {} fabric packets at {:.1} Mdesc/s",
+        out.processed, out.mdesc_per_s
+    );
+    println!(
+        "  events: {:?}",
+        out.events.iter().map(event_name).collect::<Vec<_>>()
+    );
 
     // Phase 2: a scan — thousands of single-packet flows.
     let scan: Vec<PacketDescriptor> = (0..4_000)
-        .map(|i| {
-            PacketDescriptor::new(
-                i,
-                FlowKey::from(FiveTuple::from_index(1_000_000 + i)),
-            )
-        })
+        .map(|i| PacketDescriptor::new(i, FlowKey::from(FiveTuple::from_index(1_000_000 + i))))
         .collect();
     let out = analyzer.process(&scan);
     println!("\nphase 2: {} scan packets injected", out.processed);
     for e in &out.events {
         match e {
             Event::NewFlowSurge { fraction } => {
-                println!("  !! NEW-FLOW SURGE: {:.0}% of batch created flows (scan symptom)", fraction * 100.0)
+                println!(
+                    "  !! NEW-FLOW SURGE: {:.0}% of batch created flows (scan symptom)",
+                    fraction * 100.0
+                )
             }
             other => println!("  event: {}", event_name(other)),
         }
     }
     assert!(
-        out.events.iter().any(|e| matches!(e, Event::NewFlowSurge { .. })),
+        out.events
+            .iter()
+            .any(|e| matches!(e, Event::NewFlowSurge { .. })),
         "the scan must trip the surge detector"
     );
 
     // Stats engine report.
     let stats = analyzer.stats();
     println!("\n== stats engine ==");
-    println!("  packets: {}, bytes: {}", stats.total_packets(), stats.total_bytes());
-    println!("  new flows: {}, matched: {}", stats.new_flows(), stats.matched());
+    println!(
+        "  packets: {}, bytes: {}",
+        stats.total_packets(),
+        stats.total_bytes()
+    );
+    println!(
+        "  new flows: {}, matched: {}",
+        stats.new_flows(),
+        stats.matched()
+    );
     println!("  protocol mix: {:?}", stats.protocol_mix());
     println!("  flow-size distribution:");
     for (class, count) in stats.flow_size_distribution() {

@@ -50,8 +50,7 @@ fn fabric_trace_consistency() {
     assert_eq!(packet_sum, 10_000, "every packet accounted to one flow");
 
     // 4. The new-flow count matches the trace's distinct keys.
-    let distinct: std::collections::HashSet<FlowKey> =
-        trace.iter().map(|d| d.key).collect();
+    let distinct: std::collections::HashSet<FlowKey> = trace.iter().map(|d| d.key).collect();
     assert_eq!(
         report.stats.inserted_mem + report.stats.inserted_cam,
         distinct.len() as u64
@@ -108,7 +107,9 @@ fn load_balancers_agree_on_semantics() {
     let mut results = Vec::new();
     for policy in [
         LoadBalancerPolicy::HashSplit,
-        LoadBalancerPolicy::FixedRatio { path_a_permille: 300 },
+        LoadBalancerPolicy::FixedRatio {
+            path_a_permille: 300,
+        },
         LoadBalancerPolicy::QueueDepth,
     ] {
         let mut cfg = small_cfg();
@@ -131,9 +132,7 @@ fn load_balancers_agree_on_semantics() {
 fn burst_of_same_flow_is_single_entry() {
     let mut sim = FlowLutSim::new(small_cfg());
     let key = FlowKey::from(FiveTuple::from_index(42));
-    let burst: Vec<PacketDescriptor> = (0..200)
-        .map(|s| PacketDescriptor::new(s, key))
-        .collect();
+    let burst: Vec<PacketDescriptor> = (0..200).map(|s| PacketDescriptor::new(s, key)).collect();
     let report = sim.run(&burst);
     assert_eq!(report.completed, 200);
     assert_eq!(sim.table().len(), 1);
@@ -146,7 +145,9 @@ fn burst_of_same_flow_is_single_entry() {
 #[test]
 fn deletes_interleaved_with_traffic() {
     let mut sim = FlowLutSim::new(small_cfg());
-    let keys: Vec<FlowKey> = (0..100).map(|i| FlowKey::from(FiveTuple::from_index(i))).collect();
+    let keys: Vec<FlowKey> = (0..100)
+        .map(|i| FlowKey::from(FiveTuple::from_index(i)))
+        .collect();
     let descs: Vec<PacketDescriptor> = keys
         .iter()
         .enumerate()
@@ -173,8 +174,11 @@ fn deletes_interleaved_with_traffic() {
     }
     assert_eq!(sim.table().len(), 50);
     assert_eq!(
-        report.stats.lu1_hits + report.stats.lu2_hits + report.stats.cam_hits
-            + report.stats.inserted_mem + report.stats.inserted_cam,
+        report.stats.lu1_hits
+            + report.stats.lu2_hits
+            + report.stats.cam_hits
+            + report.stats.inserted_mem
+            + report.stats.inserted_cam,
         50
     );
     for (i, k) in keys.iter().enumerate() {

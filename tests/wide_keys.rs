@@ -104,10 +104,7 @@ fn wide_and_narrow_tables_have_comparable_throughput_shape() {
         let mut sim = FlowLutSim::new(cfg);
         let descs: Vec<PacketDescriptor> = (0..1000)
             .map(|i| {
-                PacketDescriptor::new(
-                    i,
-                    FlowKey::from(flowlut::traffic::FiveTuple::from_index(i)),
-                )
+                PacketDescriptor::new(i, FlowKey::from(flowlut::traffic::FiveTuple::from_index(i)))
             })
             .collect();
         sim.run(&descs).mdesc_per_s

@@ -1,0 +1,251 @@
+//! Offline shim of the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal wall-clock harness with the same call-site
+//! syntax: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`]. Instead of criterion's statistical engine
+//! it warms each closure up briefly, then reports the median of a
+//! fixed number of timed batches — adequate for the relative A/B
+//! comparisons the ablation benches make, with none of the rigor of
+//! real criterion. See DESIGN.md §Vendored shims.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives one benchmark's measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median wall-clock time per iteration, filled in by `iter`.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: short warm-up, then the median of several batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size batches so one batch is ≥ ~1 ms.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(Self::BATCHES);
+        for _ in 0..Self::BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / batch);
+        }
+        samples.sort_unstable();
+        self.per_iter = samples[samples.len() / 2];
+    }
+
+    const BATCHES: usize = 7;
+}
+
+fn report(name: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("bench: {name:<48} {per_iter:>12.2?}/iter");
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  ({:.2} Melem/s)", n as f64 / secs / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.to_owned(),
+            throughput: None,
+        }
+    }
+
+    /// Accepts (and ignores) harness CLI arguments, mirroring real
+    /// criterion's builder method used by `criterion_main!`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the shim
+    /// always runs a fixed number of batches).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            b.per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench-binary `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; a plain
+            // `--test` invocation must not run the full benchmarks.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function(BenchmarkId::from_parameter(true), |b| b.iter(|| 2 * 2));
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 3 * 3));
+        g.bench_function("plain", |b| b.iter(|| 4 * 4));
+        g.finish();
+    }
+}

@@ -1,0 +1,562 @@
+//! Offline shim of the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal property-testing harness with the same call-site
+//! syntax: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! ranges/tuples/`any` as strategies, `prop::collection::{vec,
+//! hash_set}`, `prop::sample::Index`, [`prop_oneof!`] and the
+//! `prop_assert*` macros. Differences from real proptest: no input
+//! shrinking (a failing case panics with the generated values in the
+//! assert message), no persistence of failing seeds, and a default of
+//! 64 cases per property (deterministically seeded from the test name,
+//! so runs are reproducible). See DESIGN.md §Vendored shims.
+
+use std::marker::PhantomData;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Builds the RNG for case number `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the fully qualified test name, mixed with the case.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is negligible for test-size ranges.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Two's-complement span is correct for signed starts too.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = ((u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64()))
+                    % span) as $t;
+                self.start.wrapping_add(draw)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Two's-complement span; cannot overflow u128 for <=64-bit types.
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let draw = ((u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64()))
+                    % span) as $t;
+                lo.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical arbitrary-value strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A uniform choice between boxed strategies (behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`]; used by the [`prop_oneof!`] expansion.
+pub fn boxed_strategy<T, S>(s: S) -> Box<dyn Strategy<Value = T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(s)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values (proptest's `collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = HashSet::with_capacity(target);
+            // Bounded retries: duplicates shrink the set instead of hanging.
+            for _ in 0..target.saturating_mul(10) + 16 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.new_value(rng));
+            }
+            set
+        }
+    }
+
+    /// Generates hash sets of `element` values.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling helpers (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `[0, len)`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The `prop::` path used at call sites (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything call sites import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed_strategy($s)),+])
+    };
+}
+
+/// Declares property tests (subset of proptest's macro of the same
+/// name): runs each body `cases` times with fresh generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::new_value(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(u8),
+        B(u8),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![(0u8..10).prop_map(Op::A), (0u8..10).prop_map(Op::B)]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 5u64..=9, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn signed_ranges_in_bounds(x in -5i32..5, y in -9i64..=-3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((-9..=-3).contains(&y));
+        }
+
+        #[test]
+        fn collections_sized(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            s in prop::collection::hash_set(0u64..100, 1..10),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() < 10);
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn oneof_covers_both(ops in prop::collection::vec(op(), 1..50)) {
+            for o in ops {
+                match o {
+                    Op::A(x) | Op::B(x) => prop_assert!(x < 10),
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_accepted(x in 0u8..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline shim of the subset of the `rand_distr` 0.4 API this
+//! workspace uses: [`Distribution`] and the [`Zipf`] distribution.
+//!
+//! The Zipf sampler here is exact rather than approximate: it builds
+//! the normalized cumulative mass function once in [`Zipf::new`] and
+//! samples by binary search on a uniform draw (O(n) memory, O(log n)
+//! per sample). The fabric trace uses n = 20 000, so the table is tiny.
+//! See DESIGN.md §Vendored shims.
+
+use rand::RngCore;
+
+/// A distribution that can generate values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error cases for [`Zipf::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// The exponent was negative or not finite.
+    STooSmall,
+}
+
+impl core::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "n must be at least 1"),
+            ZipfError::STooSmall => write!(f, "exponent must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf (zeta, rank-frequency) distribution over `1..=n` with
+/// exponent `s`: `P(k) ∝ k^-s`.
+#[derive(Debug, Clone)]
+pub struct Zipf<F> {
+    cdf: Vec<F>,
+}
+
+impl Zipf<f64> {
+    /// Builds a Zipf distribution over ranks `1..=n`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError::NTooSmall)?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard the binary search against rounding at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Zipf, ZipfError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::NTooSmall);
+        assert_eq!(Zipf::new(10, f64::NAN).unwrap_err(), ZipfError::STooSmall);
+        assert_eq!(Zipf::new(10, -0.5).unwrap_err(), ZipfError::STooSmall);
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let zipf = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0usize;
+        for _ in 0..10_000 {
+            let v = zipf.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v));
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // P(1) = 1/H_1000 ≈ 0.1336; allow wide slack.
+        assert!(ones > 800, "rank 1 drawn only {ones}/10000 times");
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let zipf = Zipf::new(4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng) as usize - 1] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+}
