@@ -1,0 +1,47 @@
+//! Criterion bench of the multi-channel engine: simulated throughput per
+//! shard count (printed to stderr once per group) and host-side cost of
+//! running the sharded simulation.
+//!
+//! The full-size sweep with machine-readable output lives in the
+//! `engine` binary; this bench uses the scaled-down test configuration
+//! so it stays cheap enough for routine `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowlut_engine::{EngineConfig, ShardedFlowLut};
+use flowlut_traffic::workloads::MatchRateWorkload;
+
+fn run_engine(shards: usize, queries: usize) -> f64 {
+    let cfg = EngineConfig {
+        shards,
+        input_rate_mhz: shards as f64 * 100.0,
+        ..EngineConfig::test_small()
+    };
+    let set = MatchRateWorkload {
+        table_size: 200,
+        queries,
+        match_rate: 0.75,
+        seed: 7,
+    }
+    .build();
+    let mut engine = ShardedFlowLut::new(cfg);
+    engine.preload(set.preload.iter().copied()).unwrap();
+    engine.run(&set.queries).mdesc_per_s
+}
+
+fn bench_shard_sweep(c: &mut Criterion) {
+    for shards in [1usize, 2, 4] {
+        let rate = run_engine(shards, 2_000);
+        eprintln!("{shards} shard(s): {rate:.2} Mdesc/s simulated (small config)");
+    }
+    let mut group = c.benchmark_group("engine_shard_sweep_host");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| run_engine(shards, 2_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep);
+criterion_main!(benches);

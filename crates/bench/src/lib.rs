@@ -12,9 +12,11 @@
 //! | `fig6` | Figure 6 — new-flow ratio vs packet window |
 //! | `discussion` | §V-B — 40 GbE feasibility and product comparison |
 //! | `probe` | development calibration probe (not a paper artefact) |
+//! | `engine` | beyond the paper: multi-channel scaling sweep, writes `BENCH_engine.json` |
 //!
 //! Criterion benches under `benches/` cover the functional table, the
-//! baselines, and the ablations DESIGN.md calls out.
+//! baselines, the ablations DESIGN.md calls out, and the multi-channel
+//! engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

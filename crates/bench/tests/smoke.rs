@@ -1,8 +1,9 @@
 //! CI smoke tests for the paper-artefact harness: every bench binary is
 //! executed in `--smoke` mode (drastically scaled-down workloads), so
-//! all 8 bin targets are run-checked — not just compiled — on every
-//! `cargo test`. Each test asserts a successful exit and the report
-//! heading that proves the artefact was actually constructed.
+//! all 9 bin targets (8 paper artefacts + the multi-channel engine
+//! sweep) are run-checked — not just compiled — on every `cargo test`.
+//! Each test asserts a successful exit and the report heading that
+//! proves the artefact was actually constructed.
 
 use std::process::Command;
 
@@ -66,4 +67,9 @@ fn probe_smoke() {
 #[test]
 fn multipath_smoke() {
     run_smoke(env!("CARGO_BIN_EXE_multipath"), "Multi-path multi-hashing");
+}
+
+#[test]
+fn engine_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_engine"), "Sharded flow-LUT engine");
 }

@@ -68,5 +68,5 @@ pub use fid::{FlowId, Location, PathId};
 pub use flow_state::{FlowRecord, FlowStateStore};
 pub use multipath::{MultiHashConfig, MultiHashStats, MultiHashTable, MultiLocation};
 pub use resource::{ResourceEstimate, ResourceModel};
-pub use sim::{FlowLutSim, SimReport, SimStats};
+pub use sim::{FlowLutSim, SimReport, SimSnapshot, SimStats};
 pub use table::{HashCamTable, LookupStage, Occupancy, TableConfig, TableStats};

@@ -23,7 +23,7 @@
 
 mod types;
 
-pub use types::{DescState, LuStage, ResolvedVia, SimStats};
+pub use types::{DescState, LuStage, ResolvedVia, SimSnapshot, SimStats};
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -304,6 +304,49 @@ impl FlowLutSim {
     /// Processed asynchronously by the update unit.
     pub fn delete_flow(&mut self, key: FlowKey) {
         self.del_q.push_back(DelReq::User(key));
+    }
+
+    /// Offers one descriptor directly into the sequencer queue, bypassing
+    /// the configured input-rate shaping — external drivers (the
+    /// multi-channel engine) provide their own pacing and call
+    /// [`tick`](Self::tick) themselves.
+    ///
+    /// Returns `false` (and leaves the descriptor untaken) when the
+    /// sequencer queue is full.
+    pub fn offer(&mut self, desc: PacketDescriptor) -> bool {
+        if self.seq_q.len() >= self.cfg.sequencer_depth {
+            return false;
+        }
+        self.push_desc(desc);
+        true
+    }
+
+    /// Batch-ingests descriptors into the sequencer queue, preserving
+    /// order, until the queue fills. Returns how many were accepted; the
+    /// caller re-offers the remainder on a later cycle.
+    pub fn offer_batch(&mut self, descs: &[PacketDescriptor]) -> usize {
+        let room = self.cfg.sequencer_depth.saturating_sub(self.seq_q.len());
+        let take = room.min(descs.len());
+        for desc in &descs[..take] {
+            self.push_desc(*desc);
+        }
+        take
+    }
+
+    /// Descriptors offered but not yet resolved (queued or in flight).
+    pub fn in_pipeline(&self) -> u64 {
+        self.stats.offered - self.stats.completed
+    }
+
+    /// A point-in-time statistics snapshot of this instance, for external
+    /// aggregators stepping several instances in lockstep.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            now_sys: self.now_sys,
+            stats: self.stats,
+            occupancy: self.table.occupancy(),
+            in_pipeline: self.in_pipeline(),
+        }
     }
 
     /// Runs `descs` through the engine at the configured input rate and

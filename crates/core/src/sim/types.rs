@@ -3,6 +3,7 @@
 use flowlut_traffic::PacketDescriptor;
 
 use crate::fid::{FlowId, PathId};
+use crate::table::Occupancy;
 
 /// Which lookup stage a memory read serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +186,55 @@ impl SimStats {
             self.total_latency_sys as f64 / self.completed as f64
         }
     }
+
+    /// Accumulates `other` into `self`, counter-wise. `max_latency_sys`
+    /// takes the maximum (it is a high-water mark); `lu1_per_path` adds
+    /// element-wise. Multi-channel aggregators use this to fold per-shard
+    /// statistics into one system-level view.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.cam_hits += other.cam_hits;
+        self.lu1_hits += other.lu1_hits;
+        self.lu2_hits += other.lu2_hits;
+        self.inserted_mem += other.inserted_mem;
+        self.inserted_cam += other.inserted_cam;
+        self.duplicate_races += other.duplicate_races;
+        self.drops += other.drops;
+        self.lu1_per_path[0] += other.lu1_per_path[0];
+        self.lu1_per_path[1] += other.lu1_per_path[1];
+        self.reads_issued += other.reads_issued;
+        self.writes_issued += other.writes_issued;
+        self.filter_hold_cycles += other.filter_hold_cycles;
+        self.input_stall_cycles += other.input_stall_cycles;
+        self.same_key_holds += other.same_key_holds;
+        self.bwr_count_releases += other.bwr_count_releases;
+        self.bwr_timeout_releases += other.bwr_timeout_releases;
+        self.deletes += other.deletes;
+        self.housekeeping_expired += other.housekeeping_expired;
+        self.evictions += other.evictions;
+        self.total_latency_sys += other.total_latency_sys;
+        self.max_latency_sys = self.max_latency_sys.max(other.max_latency_sys);
+    }
+}
+
+/// A point-in-time view of one simulator instance, cheap to take every
+/// cycle: the hook external aggregators (the multi-channel engine, live
+/// dashboards) use instead of waiting for a full [`SimReport`].
+///
+/// [`SimReport`]: crate::sim::SimReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSnapshot {
+    /// Current system cycle of this instance.
+    pub now_sys: u64,
+    /// Counters accumulated since construction.
+    pub stats: SimStats,
+    /// Current table occupancy.
+    pub occupancy: Occupancy,
+    /// Descriptors offered but not yet resolved (in the sequencer queue
+    /// or in flight).
+    pub in_pipeline: u64,
 }
 
 #[cfg(test)]
@@ -230,5 +280,28 @@ mod tests {
             ..SimStats::default()
         };
         assert!((s.mean_latency_sys() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_high_water() {
+        let mut a = SimStats {
+            completed: 10,
+            lu1_per_path: [3, 7],
+            total_latency_sys: 100,
+            max_latency_sys: 40,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            completed: 5,
+            lu1_per_path: [1, 2],
+            total_latency_sys: 50,
+            max_latency_sys: 90,
+            ..SimStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.completed, 15);
+        assert_eq!(a.lu1_per_path, [4, 9]);
+        assert_eq!(a.total_latency_sys, 150);
+        assert_eq!(a.max_latency_sys, 90);
     }
 }

@@ -148,6 +148,16 @@ impl Occupancy {
     }
 }
 
+impl std::ops::AddAssign for Occupancy {
+    /// Region-wise accumulation — multi-channel aggregators sum
+    /// per-shard occupancies into one system-level view.
+    fn add_assign(&mut self, other: Occupancy) {
+        self.mem_a += other.mem_a;
+        self.mem_b += other.mem_b;
+        self.cam += other.cam;
+    }
+}
+
 /// Table statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
@@ -719,6 +729,29 @@ mod tests {
         t.insert_with_buckets(key(4), 5, 5).unwrap(); // spills to CAM
         let (_, stage) = t.lookup(&key(4)).unwrap();
         assert_eq!(stage, LookupStage::Cam);
+    }
+
+    #[test]
+    fn occupancy_accumulates_region_wise() {
+        let mut a = Occupancy {
+            mem_a: 1,
+            mem_b: 2,
+            cam: 3,
+        };
+        a += Occupancy {
+            mem_a: 10,
+            mem_b: 20,
+            cam: 30,
+        };
+        assert_eq!(
+            a,
+            Occupancy {
+                mem_a: 11,
+                mem_b: 22,
+                cam: 33,
+            }
+        );
+        assert_eq!(a.total(), 66);
     }
 
     #[test]

@@ -1,0 +1,484 @@
+//! The lockstep multi-channel engine.
+
+use std::collections::VecDeque;
+
+use flowlut_core::{FlowLutSim, InsertError, Occupancy, SimSnapshot, SimStats};
+use flowlut_traffic::{FlowKey, PacketDescriptor};
+
+use crate::config::EngineConfig;
+use crate::router::ShardRouter;
+
+/// Per-shard outcome of one engine run.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Descriptors this shard resolved during the run.
+    pub completed: u64,
+    /// This shard's processing rate over the run's wall-clock, in
+    /// million descriptors per second.
+    pub mdesc_per_s: f64,
+    /// Final table occupancy of this shard.
+    pub occupancy: Occupancy,
+    /// This shard's simulator counters, differenced over the run.
+    pub stats: SimStats,
+}
+
+/// The end-to-end performance report of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Number of shards (channels).
+    pub shards: usize,
+    /// System-clock cycles simulated (all channels step in lockstep).
+    pub sys_cycles: u64,
+    /// Wall-clock time simulated, in nanoseconds.
+    pub elapsed_ns: f64,
+    /// Descriptors resolved across all shards.
+    pub completed: u64,
+    /// Aggregate processing rate in million descriptors per second.
+    pub mdesc_per_s: f64,
+    /// Mean admission→completion latency across all shards, in
+    /// nanoseconds (time staged at the splitter not included).
+    pub mean_latency_ns: f64,
+    /// Simulator counters summed across shards.
+    pub aggregate: SimStats,
+    /// Cycles the splitter stalled input because a shard's staging was
+    /// full (that channel was the bottleneck).
+    pub splitter_stall_cycles: u64,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardSummary>,
+}
+
+impl EngineReport {
+    /// Total table occupancy summed over shards.
+    pub fn occupancy(&self) -> Occupancy {
+        self.per_shard
+            .iter()
+            .fold(Occupancy::default(), |mut acc, s| {
+                acc += s.occupancy;
+                acc
+            })
+    }
+
+    /// Largest / smallest per-shard completion count — 1.0 means a
+    /// perfectly balanced run.
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.completed)
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .per_shard
+            .iter()
+            .map(|s| s.completed)
+            .min()
+            .unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// A point-in-time view of the whole engine.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Engine cycle (equals every shard's cycle — lockstep).
+    pub now_sys: u64,
+    /// Descriptors accepted by the splitter so far.
+    pub offered: u64,
+    /// Descriptors currently staged at the splitter.
+    pub staged: u64,
+    /// Per-shard snapshots.
+    pub per_shard: Vec<SimSnapshot>,
+}
+
+/// N single-channel flow-LUT prototypes ([`FlowLutSim`]) behind a
+/// hash-based [`ShardRouter`], stepped in lockstep on one system clock.
+///
+/// The splitter routes each descriptor to the shard owning its key and
+/// stages it; staged descriptors are handed to the channel's sequencer
+/// in batches (preserving the paper's burst-grouping within each
+/// channel). Because routing is a pure function of the key, all packets
+/// of a flow traverse one channel and the paper's per-flow ordering
+/// invariant holds system-wide.
+#[derive(Debug)]
+pub struct ShardedFlowLut {
+    cfg: EngineConfig,
+    router: ShardRouter,
+    shards: Vec<FlowLutSim>,
+    staging: Vec<VecDeque<PacketDescriptor>>,
+    staged_first_cycle: Vec<Option<u64>>,
+    now_sys: u64,
+    rate_accum: f64,
+    offered: u64,
+    splitter_stall_cycles: u64,
+}
+
+impl ShardedFlowLut {
+    /// Builds an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`EngineConfig::validate`] first for fallible handling.
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate().expect("invalid engine configuration");
+        let router = ShardRouter::new(cfg.shards, cfg.router_seed);
+        let shards = (0..cfg.shards)
+            .map(|_| FlowLutSim::new(cfg.shard.clone()))
+            .collect();
+        ShardedFlowLut {
+            router,
+            shards,
+            staging: vec![VecDeque::new(); cfg.shards],
+            staged_first_cycle: vec![None; cfg.shards],
+            now_sys: 0,
+            rate_accum: 0.0,
+            offered: 0,
+            splitter_stall_cycles: 0,
+            cfg,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shard router (pure key → shard function).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's simulator, for inspection.
+    pub fn shard(&self, i: usize) -> &FlowLutSim {
+        &self.shards[i]
+    }
+
+    /// Current engine cycle.
+    pub fn now_sys(&self) -> u64 {
+        self.now_sys
+    }
+
+    /// Total resident flows across all shards.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.table().len()).sum()
+    }
+
+    /// `true` when no flows are resident anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy summed over shards.
+    pub fn occupancy(&self) -> Occupancy {
+        self.shards.iter().fold(Occupancy::default(), |mut acc, s| {
+            acc += s.table().occupancy();
+            acc
+        })
+    }
+
+    /// A point-in-time view of all shards.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            now_sys: self.now_sys,
+            offered: self.offered,
+            staged: self.staging.iter().map(|q| q.len() as u64).sum(),
+            per_shard: self.shards.iter().map(FlowLutSim::snapshot).collect(),
+        }
+    }
+
+    /// Preloads flows into the owning shards' tables and simulated DRAM
+    /// without spending cycles (the Table II(B) setup, sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InsertError`] encountered; earlier keys remain
+    /// loaded.
+    pub fn preload<I>(&mut self, keys: I) -> Result<usize, InsertError>
+    where
+        I: IntoIterator<Item = FlowKey>,
+    {
+        let mut per_shard: Vec<Vec<FlowKey>> = vec![Vec::new(); self.shards.len()];
+        for key in keys {
+            per_shard[self.router.route(&key)].push(key);
+        }
+        let mut n = 0;
+        for (shard, keys) in self.shards.iter_mut().zip(per_shard) {
+            n += shard.preload(keys)?;
+        }
+        Ok(n)
+    }
+
+    /// Requests deletion of `key` on its owning shard (processed
+    /// asynchronously by that channel's update unit).
+    pub fn delete_flow(&mut self, key: FlowKey) {
+        let s = self.router.route(&key);
+        self.shards[s].delete_flow(key);
+    }
+
+    /// Runs `descs` through the engine at the configured aggregate input
+    /// rate and returns the performance report. Completes when every
+    /// offered descriptor has resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard makes progress for an implausibly long time
+    /// (a scheduler deadlock — a bug, not a workload condition).
+    pub fn run(&mut self, descs: &[PacketDescriptor]) -> EngineReport {
+        let start_cycle = self.now_sys;
+        let start_stats: Vec<SimStats> = self.shards.iter().map(|s| *s.stats()).collect();
+        let start_stalls = self.splitter_stall_cycles;
+        let rate_per_cycle = self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz();
+        let burst_cap = 8.0 * self.shards.len() as f64;
+        let mut next = 0usize;
+        let mut last_progress_cycle = self.now_sys;
+        let mut completed_run = 0u64;
+        while completed_run < descs.len() as u64 {
+            self.now_sys += 1;
+            // 1. Splitter: accept input at the aggregate rate, routing
+            //    each descriptor to its owner's staging queue.
+            self.rate_accum = (self.rate_accum + rate_per_cycle).min(burst_cap);
+            while self.rate_accum >= 1.0 && next < descs.len() {
+                let s = self.router.route(&descs[next].key);
+                if self.staging[s].len() >= self.cfg.staging_cap {
+                    // Head-of-line: one saturated channel stalls intake.
+                    self.splitter_stall_cycles += 1;
+                    break;
+                }
+                self.staging[s].push_back(descs[next]);
+                self.staged_first_cycle[s].get_or_insert(self.now_sys);
+                self.offered += 1;
+                next += 1;
+                self.rate_accum -= 1.0;
+            }
+            // 2. Per shard: flush due batches into the sequencer, then
+            //    advance the channel one system cycle (lockstep).
+            let draining = next == descs.len();
+            let before: u64 = completed_run;
+            completed_run = 0;
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let due = self.staging[s].len() >= self.cfg.batch
+                    || (draining && !self.staging[s].is_empty())
+                    || self.staged_first_cycle[s]
+                        .is_some_and(|t| self.now_sys - t >= self.cfg.batch_timeout_sys);
+                if due {
+                    while let Some(&d) = self.staging[s].front() {
+                        if shard.offer(d) {
+                            self.staging[s].pop_front();
+                        } else {
+                            break; // sequencer full; retry next cycle
+                        }
+                    }
+                    self.staged_first_cycle[s] = if self.staging[s].is_empty() {
+                        None
+                    } else {
+                        Some(self.now_sys)
+                    };
+                }
+                shard.tick();
+                completed_run += shard.stats().completed - start_stats[s].completed;
+            }
+            if completed_run > before {
+                last_progress_cycle = self.now_sys;
+            }
+            assert!(
+                self.now_sys - last_progress_cycle < 2_000_000,
+                "no completion for 2M cycles: {} offered, {completed_run} done, {} staged \
+                 — engine deadlock",
+                self.offered,
+                self.staging.iter().map(VecDeque::len).sum::<usize>(),
+            );
+        }
+        self.report(start_cycle, &start_stats, start_stalls)
+    }
+
+    /// Per-run report: shard statistics are differenced against the run
+    /// start, so repeated `run` calls report each run alone.
+    fn report(
+        &self,
+        start_cycle: u64,
+        start_stats: &[SimStats],
+        start_stalls: u64,
+    ) -> EngineReport {
+        let cycles = self.now_sys - start_cycle;
+        let elapsed_ns = cycles as f64 * self.cfg.sys_period_ns();
+        let mut aggregate = SimStats::default();
+        let per_shard: Vec<ShardSummary> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let stats = shard.stats().delta_since(&start_stats[i]);
+                aggregate.merge(&stats);
+                ShardSummary {
+                    shard: i,
+                    completed: stats.completed,
+                    mdesc_per_s: if elapsed_ns > 0.0 {
+                        stats.completed as f64 / (elapsed_ns / 1000.0)
+                    } else {
+                        0.0
+                    },
+                    occupancy: shard.table().occupancy(),
+                    stats,
+                }
+            })
+            .collect();
+        EngineReport {
+            shards: self.shards.len(),
+            sys_cycles: cycles,
+            elapsed_ns,
+            completed: aggregate.completed,
+            mdesc_per_s: if elapsed_ns > 0.0 {
+                aggregate.completed as f64 / (elapsed_ns / 1000.0)
+            } else {
+                0.0
+            },
+            mean_latency_ns: aggregate.mean_latency_sys() * self.cfg.sys_period_ns(),
+            splitter_stall_cycles: self.splitter_stall_cycles - start_stalls,
+            aggregate,
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowlut_traffic::FiveTuple;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey::from(FiveTuple::from_index(i))
+    }
+
+    fn descs(range: std::ops::Range<u64>) -> Vec<PacketDescriptor> {
+        range
+            .enumerate()
+            .map(|(seq, i)| PacketDescriptor::new(seq as u64, key(i)))
+            .collect()
+    }
+
+    #[test]
+    fn run_completes_everything_and_partitions_flows() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let report = engine.run(&descs(0..400));
+        assert_eq!(report.completed, 400);
+        assert_eq!(
+            report.aggregate.inserted_mem + report.aggregate.inserted_cam,
+            400
+        );
+        assert_eq!(engine.len(), 400);
+        // Every key is resident exactly on its routed shard.
+        for i in 0..400 {
+            let owner = engine.router().route(&key(i));
+            for (s, shard) in engine.shards.iter().enumerate() {
+                assert_eq!(
+                    shard.table().peek(&key(i)).is_some(),
+                    s == owner,
+                    "key {i} on shard {s}, owner {owner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_step_in_lockstep() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        engine.run(&descs(0..100));
+        let snap = engine.snapshot();
+        for s in &snap.per_shard {
+            assert_eq!(s.now_sys, snap.now_sys, "channel clocks diverged");
+        }
+        assert_eq!(snap.staged, 0);
+    }
+
+    #[test]
+    fn preload_routes_keys_to_owners() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let keys: Vec<FlowKey> = (0..200).map(key).collect();
+        assert_eq!(engine.preload(keys.iter().copied()).unwrap(), 200);
+        assert_eq!(engine.occupancy().total(), 200);
+        // A run over the same keys produces only hits, no new flows.
+        let report = engine.run(&descs(0..200));
+        assert_eq!(
+            report.aggregate.inserted_mem + report.aggregate.inserted_cam,
+            0
+        );
+        assert_eq!(engine.len(), 200);
+    }
+
+    #[test]
+    fn delete_flow_reaches_the_owning_shard() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        engine.run(&descs(0..50));
+        assert_eq!(engine.len(), 50);
+        engine.delete_flow(key(7));
+        // Deletions are asynchronous: give the update units some cycles
+        // by running unrelated traffic.
+        engine.run(&descs(1000..1001));
+        assert_eq!(engine.len(), 50, "delete of 7 offset by insert of 1000");
+        let owner = engine.router().route(&key(7));
+        assert!(engine.shard(owner).table().peek(&key(7)).is_none());
+    }
+
+    #[test]
+    fn per_flow_order_holds_across_the_engine() {
+        // Many packets of few flows: completions of one flow must leave
+        // in arrival order even though shards race each other.
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let work: Vec<PacketDescriptor> = (0..300)
+            .map(|i| PacketDescriptor::new(i, key(i % 7)))
+            .collect();
+        let report = engine.run(&work);
+        assert_eq!(report.completed, 300);
+        for shard in &engine.shards {
+            let mut last_done: std::collections::HashMap<FlowKey, u64> = Default::default();
+            for d in shard.descriptors() {
+                let done = d.t_done.expect("all completed");
+                if let Some(&prev) = last_done.get(&d.desc.key) {
+                    assert!(prev <= done, "per-flow order violated");
+                }
+                last_done.insert(d.desc.key, done);
+            }
+        }
+    }
+
+    #[test]
+    fn report_decomposes_by_shard() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let report = engine.run(&descs(0..500));
+        let sum: u64 = report.per_shard.iter().map(|s| s.completed).sum();
+        assert_eq!(sum, report.completed);
+        assert_eq!(report.occupancy().total(), engine.len());
+        assert!(report.mdesc_per_s > 0.0);
+        assert!(report.imbalance() < 2.0, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn repeated_runs_report_independently() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let r1 = engine.run(&descs(0..100));
+        let r2 = engine.run(&descs(100..200));
+        assert_eq!(r1.completed, 100);
+        assert_eq!(r2.completed, 100);
+        assert_eq!(engine.len(), 200);
+    }
+
+    #[test]
+    fn empty_run_returns_zeroes() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let report = engine.run(&[]);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.sys_cycles, 0);
+        assert_eq!(report.mdesc_per_s, 0.0);
+    }
+}

@@ -32,6 +32,12 @@ impl EthernetLink {
         EthernetLink { gbps: 50.0 }
     }
 
+    /// A 100 GbE link — beyond the paper's single-channel reach; the
+    /// operating point the multi-channel engine targets.
+    pub fn hundred_gbe() -> Self {
+        EthernetLink { gbps: 100.0 }
+    }
+
     /// Packets per second at the given Layer-1 packet size and IFG, in
     /// millions (Mpps).
     ///
@@ -89,6 +95,13 @@ mod tests {
         // network throughput of over 50 Gbps".
         let gbps = EthernetLink::achievable_gbps(94.36, MIN_L1_PACKET_BYTES, STANDARD_IFG_BYTES);
         assert!(gbps > 50.0, "got {gbps}");
+    }
+
+    #[test]
+    fn hundred_gig_requirement() {
+        // 100 Gbit/s at 72-byte packets + 12-byte IFG: 100e3 / 672 bits.
+        let r = EthernetLink::hundred_gbe().min_packet_rate_standard_ifg_mpps();
+        assert!((r - 148.81).abs() < 0.01, "got {r}");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Shard-aware workload and trace splitting.
+//!
+//! The multi-channel engine partitions the key space across N
+//! independent channels; workloads and captured traces need the same
+//! partition applied *outside* the engine — to preload each channel's
+//! table with exactly the flows it owns, or to compare an engine run
+//! against N isolated single-channel runs on identical per-shard
+//! streams. The routing function itself lives with the engine (it is a
+//! policy decision); this module applies any `Fn(&FlowKey) -> usize`
+//! routing consistently to keys and descriptor streams.
+
+use crate::descriptor::PacketDescriptor;
+use crate::key::FlowKey;
+
+/// Splits a descriptor stream into per-shard sub-streams, preserving
+/// arrival order within each shard.
+///
+/// Every descriptor lands in exactly one sub-stream, chosen by `route`
+/// on its key — so per-flow order is preserved globally (all packets of
+/// one flow share a shard).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `route` returns an out-of-range index.
+pub fn split_descriptors<F>(
+    descs: &[PacketDescriptor],
+    shards: usize,
+    mut route: F,
+) -> Vec<Vec<PacketDescriptor>>
+where
+    F: FnMut(&FlowKey) -> usize,
+{
+    assert!(shards > 0, "shard count must be non-zero");
+    let mut out: Vec<Vec<PacketDescriptor>> = vec![Vec::new(); shards];
+    for d in descs {
+        let s = route(&d.key);
+        assert!(s < shards, "route returned shard {s} of {shards}");
+        out[s].push(*d);
+    }
+    out
+}
+
+/// Splits a key set (e.g. a table preload) into per-shard subsets under
+/// the same contract as [`split_descriptors`].
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `route` returns an out-of-range index.
+pub fn split_keys<F>(keys: &[FlowKey], shards: usize, mut route: F) -> Vec<Vec<FlowKey>>
+where
+    F: FnMut(&FlowKey) -> usize,
+{
+    assert!(shards > 0, "shard count must be non-zero");
+    let mut out: Vec<Vec<FlowKey>> = vec![Vec::new(); shards];
+    for k in keys {
+        let s = route(k);
+        assert!(s < shards, "route returned shard {s} of {shards}");
+        out[s].push(*k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::FiveTuple;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey::from(FiveTuple::from_index(i))
+    }
+
+    fn stream(n: u64) -> Vec<PacketDescriptor> {
+        (0..n)
+            .map(|i| PacketDescriptor::new(i, key(i % 16)))
+            .collect()
+    }
+
+    #[test]
+    fn every_descriptor_lands_in_exactly_one_shard() {
+        let descs = stream(100);
+        let parts = split_descriptors(&descs, 4, |k| k.as_bytes()[0] as usize % 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn per_shard_order_preserves_arrival_order() {
+        let descs = stream(200);
+        let parts = split_descriptors(&descs, 3, |k| k.as_bytes()[1] as usize % 3);
+        for part in &parts {
+            for pair in part.windows(2) {
+                assert!(pair[0].seq < pair[1].seq, "within-shard order broken");
+            }
+        }
+    }
+
+    #[test]
+    fn same_flow_always_shares_a_shard() {
+        let descs = stream(64);
+        let parts = split_descriptors(&descs, 4, |k| k.as_bytes()[2] as usize % 4);
+        for (s, part) in parts.iter().enumerate() {
+            for d in part {
+                assert_eq!(d.key.as_bytes()[2] as usize % 4, s);
+            }
+        }
+    }
+
+    #[test]
+    fn split_keys_partitions() {
+        let keys: Vec<FlowKey> = (0..50).map(key).collect();
+        let parts = split_keys(&keys, 5, |k| k.as_bytes()[0] as usize % 5);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "route returned shard 7 of 2")]
+    fn out_of_range_route_panics() {
+        let descs = stream(1);
+        let _ = split_descriptors(&descs, 2, |_| 7);
+    }
+}

@@ -19,7 +19,10 @@
 //!   fabric trace, and Ethernet line-rate arithmetic;
 //! * [`baselines`] — related-work comparators;
 //! * [`analyzer`] — the Figure 7 real-time traffic
-//!   analyzer (packet buffer + event engine + stats engine).
+//!   analyzer (packet buffer + event engine + stats engine);
+//! * [`engine`] — the multi-channel sharded engine: N complete
+//!   prototypes behind a hash-based shard router, stepped in lockstep —
+//!   the scale-out path past a single channel's ≈44 Mdesc/s saturation.
 //!
 //! ## Quick start
 //!
@@ -46,5 +49,6 @@ pub use flowlut_baselines as baselines;
 pub use flowlut_cam as cam;
 pub use flowlut_core as core;
 pub use flowlut_ddr3 as ddr3;
+pub use flowlut_engine as engine;
 pub use flowlut_hash as hash;
 pub use flowlut_traffic as traffic;
