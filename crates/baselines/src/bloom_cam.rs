@@ -72,7 +72,7 @@ impl FlowTable for BloomCamTable {
                     self.len += 1;
                     Ok(())
                 }
-                Err(_) => Err(BaselineFullError { table: self.name() }),
+                Err(_) => Err(self.full_error(key)),
             }
         } else {
             self.occupied[c] = true;

@@ -122,7 +122,7 @@ impl FlowTable for CuckooTable {
             // The new key *is* resident; one previously resident key was
             // lost, recorded in `lost_keys` (net length unchanged).
             self.lost_keys += 1;
-            Err(BaselineFullError { table: self.name() })
+            Err(self.full_error(key))
         }
     }
 

@@ -92,7 +92,7 @@ impl FlowTable for DLeftTable {
         }
         let (load, t, b) = best.expect("d >= 1");
         if load == self.k {
-            return Err(BaselineFullError { table: self.name() });
+            return Err(self.full_error(key));
         }
         let slot = self.tables[t][b]
             .iter()

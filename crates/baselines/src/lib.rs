@@ -24,6 +24,14 @@
 //! * [`bloom`] — standard, counting and parallel Bloom filters (\[2–5\])
 //!   with false-positive measurement, as membership-only comparators.
 //!
+//! Every table here implements two traits: the crate-local low-level
+//! [`FlowTable`] (raw insert, exact probe accounting) and the
+//! workspace-wide [`FlowStore`](flowlut_core::backend::FlowStore) /
+//! [`FlowBackend`](flowlut_core::backend::FlowBackend) (upsert
+//! semantics), so one `Box<dyn FlowBackend>` registry can hold these
+//! baselines next to the paper's table and the timed simulators — see
+//! `examples/baseline_comparison.rs`.
+//!
 //! ## Example
 //!
 //! ```

@@ -167,7 +167,7 @@ impl FlowTable for OneMoveTable {
         } else {
             // try_move_to_cam only fails when the CAM itself is full, so
             // there is nowhere left to place the key.
-            Err(BaselineFullError { table: self.name() })
+            Err(self.full_error(key))
         }
     }
 

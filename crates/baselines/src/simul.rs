@@ -79,7 +79,7 @@ impl FlowTable for SimultaneousHashCam {
                 self.len += 1;
                 Ok(())
             }
-            Err(_) => Err(BaselineFullError { table: self.name() }),
+            Err(_) => Err(self.full_error(key)),
         }
     }
 

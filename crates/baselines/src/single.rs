@@ -58,7 +58,7 @@ impl FlowTable for SingleHashTable {
             self.len += 1;
             Ok(())
         } else {
-            Err(BaselineFullError { table: self.name() })
+            Err(self.full_error(key))
         }
     }
 

@@ -1,64 +1,33 @@
 //! The common baseline interface.
+//!
+//! [`FlowTable`] is the crate's *low-level* trait: raw insert (duplicate
+//! insertion is a caller error), exact membership, probe counting. Every
+//! baseline additionally implements the workspace-wide
+//! [`FlowStore`](flowlut_core::backend::FlowStore)/[`FlowBackend`](flowlut_core::backend::FlowBackend)
+//! traits (from `flowlut_core::backend`),
+//! whose upsert `insert` and unified error/statistics types let one
+//! generic harness drive baselines, the paper's table, and the timed
+//! simulators interchangeably.
 
-use std::error::Error;
 use std::fmt;
 
 use flowlut_traffic::FlowKey;
 
 /// Insertion failed: the structure could not place the key.
 ///
-/// For cuckoo tables this is an insertion-loop abort; for bounded-bucket
-/// tables it means every candidate slot (and any overflow CAM) is full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BaselineFullError {
-    /// Name of the structure that rejected the key.
-    pub table: &'static str,
-}
-
-impl fmt::Display for BaselineFullError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} could not place the key", self.table)
-    }
-}
-
-impl Error for BaselineFullError {}
+/// This is the workspace-wide [`FullError`](flowlut_core::backend::FullError),
+/// re-exported under the crate's historical name. It carries the rejected
+/// key and the occupancy at rejection time, so callers can log what
+/// failed and how full the structure was.
+pub use flowlut_core::backend::FullError as BaselineFullError;
 
 /// Memory-access accounting: the currency all baselines are compared in.
 ///
-/// One `mem_read`/`mem_write` equals one bucket-sized DRAM access (a BL8
-/// burst on the paper's hardware). On-chip events (CAM searches, cuckoo
-/// relocations) are tallied separately because they are cheap on-die but
-/// are the scaling bottleneck of the respective schemes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct OpStats {
-    /// Bucket reads issued.
-    pub mem_reads: u64,
-    /// Bucket writes issued.
-    pub mem_writes: u64,
-    /// On-chip CAM searches.
-    pub cam_searches: u64,
-    /// Entries relocated (cuckoo kicks / one-move moves).
-    pub relocations: u64,
-    /// Lookup operations performed.
-    pub lookups: u64,
-    /// Insert operations attempted.
-    pub inserts: u64,
-}
+/// Re-export of the workspace-wide [`OpStats`](flowlut_core::backend::OpStats);
+/// see there for the accounting rules.
+pub use flowlut_core::backend::OpStats;
 
-impl OpStats {
-    /// Mean DRAM reads per lookup — the paper's headline comparison
-    /// metric (its scheme achieves < 2 with early exit).
-    pub fn reads_per_lookup(&self) -> f64 {
-        if self.lookups == 0 {
-            0.0
-        } else {
-            self.mem_reads as f64 / self.lookups as f64
-        }
-    }
-}
-
-/// An exact-membership flow table baseline.
+/// An exact-membership flow table baseline (low-level trait).
 ///
 /// All implementations are deterministic given their construction seed,
 /// store [`FlowKey`]s exactly (no false positives), and count their
@@ -74,7 +43,9 @@ pub trait FlowTable: fmt::Debug {
     /// [`BaselineFullError`] if the structure cannot place the key.
     /// Inserting a key that is already present is a caller error with
     /// implementation-defined (but memory-safe) behaviour; callers look
-    /// up before inserting, as the flow pipeline does.
+    /// up before inserting, as the flow pipeline does (the
+    /// [`FlowStore`](flowlut_core::backend::FlowStore)
+    /// view does exactly that).
     fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError>;
 
     /// Membership query.
@@ -96,11 +67,82 @@ pub trait FlowTable: fmt::Debug {
 
     /// Memory-access accounting so far.
     fn op_stats(&self) -> OpStats;
+
+    /// Builds the [`BaselineFullError`] for a rejected `key`, capturing
+    /// the structure's name and its occupancy at rejection time.
+    fn full_error(&self, key: FlowKey) -> BaselineFullError {
+        BaselineFullError {
+            table: self.name(),
+            key,
+            occupancy: self.len() as u64,
+            capacity: self.capacity() as u64,
+        }
+    }
 }
+
+/// Implements the workspace-wide [`FlowStore`]/[`FlowBackend`] traits for
+/// a baseline by delegating to its [`FlowTable`] impl, with upsert
+/// `insert` semantics (inserting a resident key reports `Ok(false)`).
+///
+/// [`FlowStore`]: flowlut_core::backend::FlowStore
+/// [`FlowBackend`]: flowlut_core::backend::FlowBackend
+macro_rules! impl_flow_backend {
+    ($($t:ty),+ $(,)?) => {$(
+        impl flowlut_core::backend::FlowStore for $t {
+            fn name(&self) -> &'static str {
+                FlowTable::name(self)
+            }
+
+            fn insert(&mut self, key: FlowKey) -> Result<bool, BaselineFullError> {
+                if FlowTable::contains(self, &key) {
+                    return Ok(false);
+                }
+                FlowTable::insert(self, key).map(|()| true)
+            }
+
+            fn contains(&mut self, key: &FlowKey) -> bool {
+                FlowTable::contains(self, key)
+            }
+
+            fn remove(&mut self, key: &FlowKey) -> bool {
+                FlowTable::remove(self, key)
+            }
+
+            fn len(&self) -> u64 {
+                FlowTable::len(self) as u64
+            }
+
+            fn capacity(&self) -> u64 {
+                FlowTable::capacity(self) as u64
+            }
+
+            fn op_stats(&self) -> OpStats {
+                FlowTable::op_stats(self)
+            }
+        }
+
+        impl flowlut_core::backend::FlowBackend for $t {}
+    )+};
+}
+
+impl_flow_backend!(
+    crate::BloomCamTable,
+    crate::CuckooTable,
+    crate::DLeftTable,
+    crate::OneMoveTable,
+    crate::SimultaneousHashCam,
+    crate::SingleHashTable,
+);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowlut_core::backend::FlowBackend;
+    use flowlut_traffic::FiveTuple;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey::from(FiveTuple::from_index(i))
+    }
 
     #[test]
     fn reads_per_lookup() {
@@ -114,8 +156,45 @@ mod tests {
     }
 
     #[test]
-    fn error_display() {
-        let e = BaselineFullError { table: "cuckoo" };
-        assert!(e.to_string().contains("cuckoo"));
+    fn error_display_carries_context() {
+        let mut t = crate::SingleHashTable::new(1, 1, 7);
+        FlowTable::insert(&mut t, key(0)).unwrap();
+        let e = FlowTable::insert(&mut t, key(1)).unwrap_err();
+        assert_eq!(e.key, key(1));
+        assert_eq!(e.occupancy, 1);
+        assert_eq!(e.capacity, 1);
+        let s = e.to_string();
+        assert!(s.contains("single-hash"), "{s}");
+        assert!(s.contains("1/1"), "{s}");
+    }
+
+    #[test]
+    fn store_view_is_upsert() {
+        let mut t = crate::CuckooTable::new(64, 1, 50, 7);
+        let b: &mut dyn FlowBackend = &mut t;
+        assert!(b.insert(key(9)).unwrap());
+        assert!(!b.insert(key(9)).unwrap(), "second insert is a no-op");
+        assert_eq!(b.len(), 1);
+        assert!(b.as_pipeline().is_none(), "baselines are untimed");
+        assert!(b.remove(&key(9)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn every_baseline_is_a_backend() {
+        let backends: Vec<Box<dyn FlowBackend>> = vec![
+            Box::new(crate::SingleHashTable::new(64, 2, 7)),
+            Box::new(crate::DLeftTable::new(2, 32, 2, 7)),
+            Box::new(crate::CuckooTable::new(64, 1, 50, 7)),
+            Box::new(crate::OneMoveTable::new(2, 32, 2, 8, 7)),
+            Box::new(crate::BloomCamTable::new(120, 8, 7)),
+            Box::new(crate::SimultaneousHashCam::new(32, 2, 8, 7)),
+        ];
+        for mut b in backends {
+            assert!(b.insert(key(1)).unwrap(), "{}", b.name());
+            assert!(b.contains(&key(1)), "{}", b.name());
+            let s = b.op_stats();
+            assert!(s.lookups > 0 || s.inserts > 0, "{}", b.name());
+        }
     }
 }

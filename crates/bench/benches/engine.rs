@@ -7,6 +7,7 @@
 //! so it stays cheap enough for routine `cargo bench` runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowlut_core::run_session;
 use flowlut_engine::{EngineConfig, ShardedFlowLut};
 use flowlut_traffic::workloads::MatchRateWorkload;
 
@@ -25,7 +26,9 @@ fn run_engine(shards: usize, queries: usize) -> f64 {
     .build();
     let mut engine = ShardedFlowLut::new(cfg);
     engine.preload(set.preload.iter().copied()).unwrap();
-    engine.run(&set.queries).mdesc_per_s
+    // The unified streaming session: the same generic driver loop every
+    // backend runs under, reporting the backend-agnostic RunReport.
+    run_session(&mut engine, &set.queries).mdesc_per_s
 }
 
 fn bench_shard_sweep(c: &mut Criterion) {

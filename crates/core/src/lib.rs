@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -62,6 +63,10 @@ pub mod resource;
 pub mod sim;
 pub mod table;
 
+pub use backend::{
+    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    SessionProgress,
+};
 pub use config::{LoadBalancerPolicy, SimConfig};
 pub use error::{ConfigError, InsertError};
 pub use fid::{FlowId, Location, PathId};

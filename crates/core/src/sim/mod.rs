@@ -33,6 +33,10 @@ use flowlut_ddr3::{
 };
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
+use crate::backend::{
+    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    SessionProgress,
+};
 use crate::codec;
 use crate::config::{FullTablePolicy, LoadBalancerPolicy, SimConfig};
 use crate::error::InsertError;
@@ -145,7 +149,6 @@ pub struct FlowLutSim {
     wait_by_key: HashMap<FlowKey, VecDeque<usize>>,
     inflight_keys: HashSet<FlowKey>,
     lb_acc: u32,
-    rate_accum: f64,
     in_flight: usize,
     // Update unit.
     ins_q: VecDeque<usize>,
@@ -207,8 +210,6 @@ impl FlowLutSim {
             wait_by_key: HashMap::new(),
             inflight_keys: HashSet::new(),
             lb_acc: 0x9E37_79B9, // xorshift state; any non-zero seed
-
-            rate_accum: 0.0,
             in_flight: 0,
             ins_q: VecDeque::new(),
             del_q: VecDeque::new(),
@@ -353,39 +354,22 @@ impl FlowLutSim {
     /// returns the performance report. Completes when every offered
     /// descriptor has resolved.
     ///
+    /// *Deprecated path*: this batch entry point is a thin wrapper over
+    /// the streaming session API ([`run_session`] driving this simulator
+    /// as a [`FlowPipeline`]) and is kept for the paper-artefact binaries
+    /// that need the rich [`SimReport`]. New code should prefer the
+    /// session API, whose [`RunReport`] is comparable across backends;
+    /// `tests/session_equivalence.rs` pins that both paths report
+    /// identically.
+    ///
     /// # Panics
     ///
     /// Panics if the pipeline makes no progress for an implausibly long
     /// time (a scheduler deadlock — a bug, not a workload condition).
     pub fn run(&mut self, descs: &[PacketDescriptor]) -> SimReport {
-        let target = self.stats.completed + descs.len() as u64;
-        let rate_per_cycle = self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz();
-        let mut next = 0usize;
         let start_cycle = self.now_sys;
         let start_stats = self.stats;
-        self.last_completion_cycle = self.now_sys;
-        while self.stats.completed < target {
-            self.rate_accum = (self.rate_accum + rate_per_cycle).min(8.0);
-            while self.rate_accum >= 1.0 && next < descs.len() {
-                if self.seq_q.len() >= self.cfg.sequencer_depth {
-                    self.stats.input_stall_cycles += 1;
-                    break;
-                }
-                self.push_desc(descs[next]);
-                next += 1;
-                self.rate_accum -= 1.0;
-            }
-            self.tick();
-            assert!(
-                self.now_sys - self.last_completion_cycle < 2_000_000,
-                "no completion for 2M cycles: {} in flight, {} queued, {} waiting, \
-                 {} in insert queue — pipeline deadlock",
-                self.in_flight,
-                self.seq_q.len(),
-                self.wait_by_key.values().map(VecDeque::len).sum::<usize>(),
-                self.ins_q.len(),
-            );
-        }
+        let _ = run_session(self, descs);
         self.report(start_cycle, &start_stats, descs.len() as u64)
     }
 
@@ -1012,6 +996,178 @@ impl FlowLutSim {
                 .expect("DLU checked controller room");
             self.stats.writes_issued += 1;
         }
+    }
+}
+
+/// Backend name of the single-channel timed simulator, shared by the
+/// [`FlowStore`] impl and the [`SimReport`] → [`RunReport`] conversion.
+pub(crate) const SIM_BACKEND_NAME: &str = "hashcam-sim";
+
+impl From<SimReport> for RunReport {
+    /// Projects the rich single-channel report onto the unified shape
+    /// (dropping the per-path controller/device detail).
+    fn from(r: SimReport) -> RunReport {
+        RunReport {
+            backend: SIM_BACKEND_NAME,
+            channels: 1,
+            sys_cycles: r.sys_cycles,
+            elapsed_ns: r.elapsed_ns,
+            completed: r.completed,
+            mdesc_per_s: r.mdesc_per_s,
+            mean_latency_ns: r.mean_latency_ns,
+            stats: r.stats,
+            occupancy: r.table_occupancy,
+        }
+    }
+}
+
+impl FlowLutSim {
+    /// Runs one descriptor through the timed pipeline to completion and
+    /// returns how it resolved — the primitive behind the functional
+    /// [`FlowStore`] view of the simulator.
+    fn run_one(&mut self, desc: PacketDescriptor) -> ResolvedVia {
+        let idx = self.descs.len();
+        self.last_completion_cycle = self.now_sys;
+        while !self.offer(desc) {
+            self.tick();
+        }
+        while self.descs[idx].t_done.is_none() {
+            self.tick();
+            assert!(
+                self.now_sys - self.last_completion_cycle < 2_000_000,
+                "functional op made no progress for 2M cycles — pipeline deadlock",
+            );
+        }
+        self.descs[idx]
+            .via
+            .expect("completed descriptor has resolution")
+    }
+}
+
+impl FlowStore for FlowLutSim {
+    fn name(&self) -> &'static str {
+        SIM_BACKEND_NAME
+    }
+
+    /// Upsert through the real pipeline: offers a descriptor and ticks
+    /// until it resolves, so the insert pays the same sequencing, DRAM
+    /// and update-unit costs a streamed descriptor would.
+    fn insert(&mut self, key: FlowKey) -> Result<bool, FullError> {
+        let seq = self.descs.len() as u64;
+        match self.run_one(PacketDescriptor::new(seq, key)) {
+            via if via.is_new_flow() => Ok(true),
+            ResolvedVia::Dropped => Err(FullError {
+                table: SIM_BACKEND_NAME,
+                key,
+                occupancy: self.table.len(),
+                capacity: self.cfg.table.capacity(),
+            }),
+            _ => Ok(false),
+        }
+    }
+
+    /// Answers from the functional ground truth (the table the pipeline
+    /// maintains) without spending simulated cycles: a timed lookup of an
+    /// absent key would *insert* it, which a membership query must not.
+    fn contains(&mut self, key: &FlowKey) -> bool {
+        self.table.peek(key).is_some()
+    }
+
+    fn remove(&mut self, key: &FlowKey) -> bool {
+        if self.table.peek(key).is_none() {
+            return false;
+        }
+        self.delete_flow(*key);
+        let start = self.now_sys;
+        while self.table.peek(key).is_some() {
+            self.tick();
+            assert!(
+                self.now_sys - start < 2_000_000,
+                "deletion not processed for 2M cycles — update unit deadlock",
+            );
+        }
+        true
+    }
+
+    fn len(&self) -> u64 {
+        self.table.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cfg.table.capacity()
+    }
+
+    /// Unified accounting from the simulator counters: one `mem_read` /
+    /// `mem_write` is one *bucket* access (burst counts divided by
+    /// bursts-per-bucket), every admitted descriptor searches the CAM
+    /// once, and full-table evictions count as relocations.
+    fn op_stats(&self) -> OpStats {
+        let s = &self.stats;
+        let bpb = u64::from(self.bursts_per_bucket);
+        OpStats {
+            mem_reads: s.reads_issued / bpb,
+            mem_writes: s.writes_issued / bpb,
+            cam_searches: s.admitted,
+            relocations: s.evictions,
+            lookups: s.completed,
+            inserts: s.inserted_mem + s.inserted_cam + s.drops,
+        }
+    }
+}
+
+impl FlowPipeline for FlowLutSim {
+    fn push(&mut self, desc: PacketDescriptor) -> bool {
+        if self.seq_q.len() >= self.cfg.sequencer_depth {
+            self.stats.input_stall_cycles += 1;
+            return false;
+        }
+        self.push_desc(desc);
+        true
+    }
+
+    fn tick(&mut self) {
+        FlowLutSim::tick(self);
+    }
+
+    fn poll(&self) -> SessionProgress {
+        SessionProgress {
+            now_sys: self.now_sys,
+            stats: self.stats,
+            in_pipeline: self.in_pipeline(),
+            occupancy: self.table.occupancy(),
+        }
+    }
+
+    fn drain(&mut self) -> u64 {
+        let start = self.now_sys;
+        self.last_completion_cycle = self.now_sys;
+        while self.in_pipeline() > 0 {
+            FlowLutSim::tick(self);
+            assert!(
+                self.now_sys - self.last_completion_cycle < 2_000_000,
+                "no completion for 2M cycles: {} in flight, {} queued, {} waiting, \
+                 {} in insert queue — pipeline deadlock",
+                self.in_flight,
+                self.seq_q.len(),
+                self.wait_by_key.values().map(VecDeque::len).sum::<usize>(),
+                self.ins_q.len(),
+            );
+        }
+        self.now_sys - start
+    }
+
+    fn sys_period_ns(&self) -> f64 {
+        self.cfg.sys_period_ns()
+    }
+
+    fn input_rate_per_cycle(&self) -> f64 {
+        self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz()
+    }
+}
+
+impl FlowBackend for FlowLutSim {
+    fn as_pipeline(&mut self) -> Option<&mut dyn FlowPipeline> {
+        Some(self)
     }
 }
 

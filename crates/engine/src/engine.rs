@@ -2,6 +2,10 @@
 
 use std::collections::VecDeque;
 
+use flowlut_core::backend::{
+    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    SessionProgress,
+};
 use flowlut_core::{FlowLutSim, InsertError, Occupancy, SimSnapshot, SimStats};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
@@ -113,9 +117,11 @@ pub struct ShardedFlowLut {
     staging: Vec<VecDeque<PacketDescriptor>>,
     staged_first_cycle: Vec<Option<u64>>,
     now_sys: u64,
-    rate_accum: f64,
     offered: u64,
     splitter_stall_cycles: u64,
+    /// End-of-input declared ([`FlowPipeline::drain`] in progress):
+    /// staged batches flush regardless of the batch threshold.
+    draining: bool,
 }
 
 impl ShardedFlowLut {
@@ -137,9 +143,9 @@ impl ShardedFlowLut {
             staging: vec![VecDeque::new(); cfg.shards],
             staged_first_cycle: vec![None; cfg.shards],
             now_sys: 0,
-            rate_accum: 0.0,
             offered: 0,
             splitter_stall_cycles: 0,
+            draining: false,
             cfg,
         }
     }
@@ -226,9 +232,63 @@ impl ShardedFlowLut {
         self.shards[s].delete_flow(key);
     }
 
+    /// Advances the whole engine one system-clock cycle: per shard,
+    /// flushes due staged batches into the channel's sequencer, then
+    /// steps the channel (lockstep). A batch is *due* when it reaches the
+    /// configured size, when its oldest descriptor times out, or when end
+    /// of input has been declared ([`FlowPipeline::drain`]).
+    pub fn tick(&mut self) {
+        self.now_sys += 1;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let due = self.staging[s].len() >= self.cfg.batch
+                || (self.draining && !self.staging[s].is_empty())
+                || self.staged_first_cycle[s]
+                    .is_some_and(|t| self.now_sys - t >= self.cfg.batch_timeout_sys);
+            if due {
+                while let Some(&d) = self.staging[s].front() {
+                    if shard.offer(d) {
+                        self.staging[s].pop_front();
+                    } else {
+                        break; // sequencer full; retry next cycle
+                    }
+                }
+                self.staged_first_cycle[s] = if self.staging[s].is_empty() {
+                    None
+                } else {
+                    Some(self.now_sys)
+                };
+            }
+            shard.tick();
+        }
+    }
+
+    /// Descriptors staged at the splitter, queued at a sequencer, or in
+    /// flight anywhere in the engine.
+    pub fn in_pipeline(&self) -> u64 {
+        self.staging.iter().map(|q| q.len() as u64).sum::<u64>()
+            + self.shards.iter().map(FlowLutSim::in_pipeline).sum::<u64>()
+    }
+
+    /// Simulator counters merged across all shards (cumulative).
+    fn merged_stats(&self) -> SimStats {
+        let mut agg = SimStats::default();
+        for shard in &self.shards {
+            agg.merge(shard.stats());
+        }
+        agg
+    }
+
     /// Runs `descs` through the engine at the configured aggregate input
     /// rate and returns the performance report. Completes when every
     /// offered descriptor has resolved.
+    ///
+    /// *Deprecated path*: this batch entry point is a thin wrapper over
+    /// the streaming session API ([`run_session`] driving this engine as
+    /// a [`FlowPipeline`]) and is kept for callers that need the rich
+    /// per-shard [`EngineReport`]. New code should prefer the session
+    /// API, whose [`RunReport`] is comparable across backends;
+    /// `tests/session_equivalence.rs` pins that both paths report
+    /// identically.
     ///
     /// # Panics
     ///
@@ -238,67 +298,7 @@ impl ShardedFlowLut {
         let start_cycle = self.now_sys;
         let start_stats: Vec<SimStats> = self.shards.iter().map(|s| *s.stats()).collect();
         let start_stalls = self.splitter_stall_cycles;
-        let rate_per_cycle = self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz();
-        let burst_cap = 8.0 * self.shards.len() as f64;
-        let mut next = 0usize;
-        let mut last_progress_cycle = self.now_sys;
-        let mut completed_run = 0u64;
-        while completed_run < descs.len() as u64 {
-            self.now_sys += 1;
-            // 1. Splitter: accept input at the aggregate rate, routing
-            //    each descriptor to its owner's staging queue.
-            self.rate_accum = (self.rate_accum + rate_per_cycle).min(burst_cap);
-            while self.rate_accum >= 1.0 && next < descs.len() {
-                let s = self.router.route(&descs[next].key);
-                if self.staging[s].len() >= self.cfg.staging_cap {
-                    // Head-of-line: one saturated channel stalls intake.
-                    self.splitter_stall_cycles += 1;
-                    break;
-                }
-                self.staging[s].push_back(descs[next]);
-                self.staged_first_cycle[s].get_or_insert(self.now_sys);
-                self.offered += 1;
-                next += 1;
-                self.rate_accum -= 1.0;
-            }
-            // 2. Per shard: flush due batches into the sequencer, then
-            //    advance the channel one system cycle (lockstep).
-            let draining = next == descs.len();
-            let before: u64 = completed_run;
-            completed_run = 0;
-            for (s, shard) in self.shards.iter_mut().enumerate() {
-                let due = self.staging[s].len() >= self.cfg.batch
-                    || (draining && !self.staging[s].is_empty())
-                    || self.staged_first_cycle[s]
-                        .is_some_and(|t| self.now_sys - t >= self.cfg.batch_timeout_sys);
-                if due {
-                    while let Some(&d) = self.staging[s].front() {
-                        if shard.offer(d) {
-                            self.staging[s].pop_front();
-                        } else {
-                            break; // sequencer full; retry next cycle
-                        }
-                    }
-                    self.staged_first_cycle[s] = if self.staging[s].is_empty() {
-                        None
-                    } else {
-                        Some(self.now_sys)
-                    };
-                }
-                shard.tick();
-                completed_run += shard.stats().completed - start_stats[s].completed;
-            }
-            if completed_run > before {
-                last_progress_cycle = self.now_sys;
-            }
-            assert!(
-                self.now_sys - last_progress_cycle < 2_000_000,
-                "no completion for 2M cycles: {} offered, {completed_run} done, {} staged \
-                 — engine deadlock",
-                self.offered,
-                self.staging.iter().map(VecDeque::len).sum::<usize>(),
-            );
-        }
+        let _ = run_session(self, descs);
         self.report(start_cycle, &start_stats, start_stalls)
     }
 
@@ -348,6 +348,164 @@ impl ShardedFlowLut {
             aggregate,
             per_shard,
         }
+    }
+}
+
+/// Backend name of the sharded engine, shared by the [`FlowStore`] impl
+/// and the [`EngineReport`] → [`RunReport`] conversion.
+const ENGINE_BACKEND_NAME: &str = "hashcam-sharded";
+
+impl From<EngineReport> for RunReport {
+    /// Projects the engine report onto the unified shape (dropping the
+    /// per-shard breakdown and splitter-stall detail).
+    fn from(r: EngineReport) -> RunReport {
+        let occupancy = r.occupancy();
+        RunReport {
+            backend: ENGINE_BACKEND_NAME,
+            channels: r.shards,
+            sys_cycles: r.sys_cycles,
+            elapsed_ns: r.elapsed_ns,
+            completed: r.completed,
+            mdesc_per_s: r.mdesc_per_s,
+            mean_latency_ns: r.mean_latency_ns,
+            stats: r.aggregate,
+            occupancy,
+        }
+    }
+}
+
+impl FlowStore for ShardedFlowLut {
+    fn name(&self) -> &'static str {
+        ENGINE_BACKEND_NAME
+    }
+
+    /// Upsert on the owning channel's timed pipeline (the shard runs the
+    /// descriptor to completion). Only that channel's clock advances;
+    /// lockstep across channels is an invariant of *streamed* sessions,
+    /// not of functional access.
+    fn insert(&mut self, key: FlowKey) -> Result<bool, FullError> {
+        let s = self.router.route(&key);
+        match FlowStore::insert(&mut self.shards[s], key) {
+            Ok(created) => Ok(created),
+            // Re-label with engine-level context: the caller sees the
+            // aggregate structure, not the shard that actually rejected.
+            Err(e) => Err(FullError {
+                table: ENGINE_BACKEND_NAME,
+                key: e.key,
+                occupancy: self.len(),
+                capacity: FlowStore::capacity(self),
+            }),
+        }
+    }
+
+    fn contains(&mut self, key: &FlowKey) -> bool {
+        let s = self.router.route(key);
+        self.shards[s].table().peek(key).is_some()
+    }
+
+    fn remove(&mut self, key: &FlowKey) -> bool {
+        let s = self.router.route(key);
+        FlowStore::remove(&mut self.shards[s], key)
+    }
+
+    fn len(&self) -> u64 {
+        ShardedFlowLut::len(self)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.shards.len() as u64 * self.cfg.shard.table.capacity()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        let mut agg = OpStats::default();
+        for shard in &self.shards {
+            agg.merge(&FlowStore::op_stats(shard));
+        }
+        agg
+    }
+}
+
+impl FlowPipeline for ShardedFlowLut {
+    /// The splitter: routes the descriptor to the shard owning its key
+    /// and stages it. `false` (plus a recorded splitter stall) when that
+    /// shard's staging is full — head-of-line, as a hardware distributor
+    /// would.
+    fn push(&mut self, desc: PacketDescriptor) -> bool {
+        let s = self.router.route(&desc.key);
+        if self.staging[s].len() >= self.cfg.staging_cap {
+            self.splitter_stall_cycles += 1;
+            return false;
+        }
+        self.staging[s].push_back(desc);
+        // Staged for the cycle the next tick will process (tick
+        // increments the clock before flushing).
+        self.staged_first_cycle[s].get_or_insert(self.now_sys + 1);
+        self.offered += 1;
+        true
+    }
+
+    fn tick(&mut self) {
+        ShardedFlowLut::tick(self);
+    }
+
+    fn poll(&self) -> SessionProgress {
+        SessionProgress {
+            now_sys: self.now_sys,
+            stats: self.merged_stats(),
+            in_pipeline: self.in_pipeline(),
+            occupancy: self.occupancy(),
+        }
+    }
+
+    fn drain(&mut self) -> u64 {
+        // Completed-only view for the per-cycle watchdog (one u64 per
+        // shard; the full statistics merge is reserved for poll()).
+        fn completed_total(shards: &[FlowLutSim]) -> u64 {
+            shards.iter().map(|s| s.stats().completed).sum()
+        }
+        let start = self.now_sys;
+        self.draining = true;
+        let mut completed = completed_total(&self.shards);
+        let mut last_progress_cycle = self.now_sys;
+        while self.in_pipeline() > 0 {
+            ShardedFlowLut::tick(self);
+            let c = completed_total(&self.shards);
+            if c > completed {
+                completed = c;
+                last_progress_cycle = self.now_sys;
+            }
+            assert!(
+                self.now_sys - last_progress_cycle < 2_000_000,
+                "no completion for 2M cycles: {} offered, {completed} done, {} staged \
+                 — engine deadlock",
+                self.offered,
+                self.staging.iter().map(VecDeque::len).sum::<usize>(),
+            );
+        }
+        self.draining = false;
+        self.now_sys - start
+    }
+
+    fn sys_period_ns(&self) -> f64 {
+        self.cfg.sys_period_ns()
+    }
+
+    fn input_rate_per_cycle(&self) -> f64 {
+        self.cfg.input_rate_mhz / self.cfg.sys_clock_mhz()
+    }
+
+    fn burst_cap(&self) -> f64 {
+        8.0 * self.shards.len() as f64
+    }
+
+    fn channels(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl FlowBackend for ShardedFlowLut {
+    fn as_pipeline(&mut self) -> Option<&mut dyn FlowPipeline> {
+        Some(self)
     }
 }
 

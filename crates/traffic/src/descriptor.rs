@@ -45,6 +45,19 @@ impl PacketDescriptor {
         self.frame_bytes = bytes;
         self
     }
+
+    /// Builds a descriptor stream from a key sequence, numbering packets
+    /// in order — the common setup of streaming-session drivers and
+    /// backend comparisons (one minimum-size packet per key).
+    pub fn sequence<I>(keys: I) -> Vec<PacketDescriptor>
+    where
+        I: IntoIterator<Item = FlowKey>,
+    {
+        keys.into_iter()
+            .enumerate()
+            .map(|(seq, key)| PacketDescriptor::new(seq as u64, key))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +81,21 @@ mod tests {
         let d = PacketDescriptor::new(0, FlowKey::new(&[1]).unwrap());
         assert_eq!(d.frame_bytes, 72);
         assert_eq!(d.hash_override, None);
+    }
+
+    #[test]
+    fn sequence_numbers_in_order() {
+        let keys = [
+            FlowKey::new(&[1]).unwrap(),
+            FlowKey::new(&[2]).unwrap(),
+            FlowKey::new(&[1]).unwrap(),
+        ];
+        let descs = PacketDescriptor::sequence(keys);
+        assert_eq!(descs.len(), 3);
+        for (i, d) in descs.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+            assert_eq!(d.key, keys[i]);
+            assert_eq!(d.frame_bytes, 72);
+        }
     }
 }

@@ -1,18 +1,26 @@
 //! Quickstart: the flow table in five minutes.
 //!
-//! Builds a Hash-CAM flow table, processes a handful of packets the way
-//! a flow processor would (lookup-or-insert per packet), inspects where
-//! entries landed, and runs the same packets through the cycle-accurate
-//! simulator for timing.
+//! Builds a Hash-CAM flow table with the facade [`Builder`], processes a
+//! handful of packets the way a flow processor would (upsert per
+//! packet), inspects where entries landed, and streams the same packets
+//! through the cycle-accurate simulator for timing — all through the
+//! unified `FlowBackend` API, plus the typed core API where the richer
+//! detail (flow IDs, per-flow state) lives.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use flowlut::core::{FlowLutSim, HashCamTable, SimConfig, TableConfig};
+use flowlut::core::{SimConfig, TableConfig};
 use flowlut::traffic::{FiveTuple, FlowKey, PacketDescriptor};
+use flowlut::{run_session, Builder};
 
 fn main() {
-    // ----- Functional layer: the data structure -----
-    let mut table = HashCamTable::new(TableConfig::test_small());
+    // ----- Functional layer: any backend, one API -----
+    // Builder::build() returns Box<dyn FlowBackend>; swap in `.shards(4)`
+    // or `.baseline(BaselineKind::Cuckoo)` without touching the loop.
+    let mut table = Builder::new()
+        .table(TableConfig::test_small())
+        .build()
+        .expect("valid config");
 
     let flows = [
         FiveTuple::new([10, 0, 0, 1], [192, 168, 1, 1], 443, 51000, 6),
@@ -24,24 +32,46 @@ fn main() {
     for (i, tuple) in flows.iter().enumerate() {
         let key = FlowKey::from(*tuple);
         // First packet of each flow creates an entry...
-        let (fid, created) = table.lookup_or_insert(key).expect("table has room");
-        println!("  pkt {i}: {tuple} -> {fid} (new flow: {created})");
+        let created = table.insert(key).expect("table has room");
+        println!("  pkt {i}: {tuple} (new flow: {created})");
         // ...subsequent packets match it.
-        let (again, created) = table.lookup_or_insert(key).expect("table has room");
-        assert_eq!(fid, again);
-        assert!(!created);
+        assert!(!table.insert(key).expect("table has room"));
+        assert!(table.contains(&key));
     }
-    let occ = table.occupancy();
     println!(
-        "occupancy: {} in Mem1, {} in Mem2, {} in CAM (load factor {:.4})\n",
+        "occupancy: {} of {} slots; {:.2} DRAM reads per lookup so far\n",
+        table.len(),
+        table.capacity(),
+        table.op_stats().reads_per_lookup()
+    );
+
+    // ----- Typed core API: flow IDs and placement detail -----
+    let mut typed = Builder::new()
+        .table(TableConfig::test_small())
+        .build_table()
+        .expect("valid config");
+    for tuple in &flows {
+        let (fid, created) = typed
+            .lookup_or_insert(FlowKey::from(*tuple))
+            .expect("table has room");
+        assert!(created);
+        println!("  {tuple} -> {fid}");
+    }
+    let occ = typed.occupancy();
+    println!(
+        "placement: {} in Mem1, {} in Mem2, {} in CAM (load factor {:.4})\n",
         occ.mem_a,
         occ.mem_b,
         occ.cam,
-        table.load_factor()
+        typed.load_factor()
     );
 
     // ----- Timed layer: the same packets against simulated DDR3 -----
-    let mut sim = FlowLutSim::new(SimConfig::test_small());
+    let mut sim = Builder::new()
+        .sim_config(SimConfig::test_small())
+        .shards(1)
+        .build()
+        .expect("valid config");
     let descriptors: Vec<PacketDescriptor> = flows
         .iter()
         .cycle()
@@ -49,10 +79,10 @@ fn main() {
         .enumerate()
         .map(|(seq, t)| PacketDescriptor::new(seq as u64, FlowKey::from(*t)))
         .collect();
-    let report = sim.run(&descriptors);
+    let report = run_session(sim.as_pipeline().expect("timed backend"), &descriptors);
     println!(
-        "timed simulation of {} packets over 3 flows:",
-        report.completed
+        "timed simulation of {} packets over 3 flows ({} channel):",
+        report.completed, report.channels
     );
     println!(
         "  {:.2} Mdesc/s at a 200 MHz system clock",
@@ -64,10 +94,4 @@ fn main() {
         report.stats.lu1_hits + report.stats.lu2_hits + report.stats.cam_hits,
         report.mean_latency_ns
     );
-    for (fid, record) in sim.flow_state().iter() {
-        println!(
-            "  {fid}: {} packets, {} bytes",
-            record.packets, record.bytes
-        );
-    }
 }

@@ -7,6 +7,13 @@
 //! Hash-CAM hashing, a dual-path lookup pipeline with early exit, bank
 //! aware request scheduling, and burst-grouped updates.
 //!
+//! The whole workspace speaks one API: every structure — the functional
+//! table, the cycle-stepped prototype, the sharded engine, and every
+//! related-work baseline — implements the object-safe
+//! [`FlowBackend`]/[`FlowStore`] traits (plus [`FlowPipeline`] for the
+//! timed ones), is constructed by [`Builder`], and reports runs in one
+//! [`RunReport`] shape via [`run_session`].
+//!
 //! This facade crate re-exports the workspace:
 //!
 //! * [`core`] — the paper's contribution: the functional
@@ -26,16 +33,40 @@
 //!
 //! ## Quick start
 //!
+//! Build any backend with [`Builder`]; the functional [`FlowStore`] verbs
+//! work on all of them:
+//!
 //! ```
-//! use flowlut::core::{HashCamTable, TableConfig};
+//! use flowlut::{Builder, FlowStore};
+//! use flowlut::core::TableConfig;
 //! use flowlut::traffic::{FiveTuple, FlowKey};
 //!
-//! let mut table = HashCamTable::new(TableConfig::test_small());
+//! let mut table = Builder::new().table(TableConfig::test_small()).build()?;
 //! let key = FlowKey::from(FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 80, 443, 6));
-//! let (fid, created) = table.lookup_or_insert(key)?;
-//! assert!(created);
-//! assert_eq!(table.lookup(&key).map(|(id, _)| id), Some(fid));
-//! # Ok::<(), flowlut::core::InsertError>(())
+//! assert!(table.insert(key)?, "new flow");
+//! assert!(table.contains(&key));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Timed backends additionally stream descriptors through a paced
+//! session ([`run_session`], or `push`/`tick`/`poll`/`drain` by hand):
+//!
+//! ```
+//! use flowlut::{run_session, Builder};
+//! use flowlut::core::SimConfig;
+//! use flowlut::traffic::{FiveTuple, FlowKey, PacketDescriptor};
+//!
+//! let mut engine = Builder::new()
+//!     .sim_config(SimConfig::test_small())
+//!     .shards(2)
+//!     .build()?;
+//! let descs: Vec<PacketDescriptor> =
+//!     PacketDescriptor::sequence((0..200).map(|i| FlowKey::from(FiveTuple::from_index(i))));
+//! let pipe = engine.as_pipeline().expect("timed backend");
+//! let report = run_session(pipe, &descs);
+//! assert_eq!(report.completed, 200);
+//! println!("{} ch x {:.1} Mdesc/s", report.channels, report.mdesc_per_s);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
@@ -43,6 +74,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod builder;
+
+pub use builder::{BaselineKind, Builder};
+pub use flowlut_core::backend::{
+    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    SessionProgress,
+};
 
 pub use flowlut_analyzer as analyzer;
 pub use flowlut_baselines as baselines;

@@ -1,0 +1,157 @@
+//! Cross-backend conformance: every [`FlowBackend`] in the workspace —
+//! six related-work baselines, the paper's functional table, the timed
+//! single-channel simulator, and the sharded engine — answers one
+//! generated insert/lookup/remove sequence *identically* (exact
+//! membership, upsert semantics), while its [`OpStats`] stay monotone
+//! and merge-consistent (per-op deltas merged in sequence equal the
+//! final counters).
+//!
+//! The key universe is small (24 keys) and every structure is sized
+//! far below its failure point, so a divergence is a semantics bug, not
+//! a capacity artefact.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use flowlut::core::{SimConfig, TableConfig};
+use flowlut::traffic::{FiveTuple, FlowKey};
+use flowlut::{BaselineKind, Builder, FlowBackend, OpStats};
+
+fn key(i: u64) -> FlowKey {
+    FlowKey::from(FiveTuple::from_index(i))
+}
+
+fn key_strategy() -> impl Strategy<Value = FlowKey> {
+    // Small universe so sequences revisit keys (duplicate inserts,
+    // removes of absent keys, re-inserts after removal).
+    (0u64..24).prop_map(key)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(FlowKey),
+    Lookup(FlowKey),
+    Remove(FlowKey),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        key_strategy().prop_map(Op::Insert),
+        key_strategy().prop_map(Op::Lookup),
+        key_strategy().prop_map(Op::Remove),
+    ]
+}
+
+/// Every backend in the workspace, sized generously for a 24-key
+/// universe (the timed backends use the fast test configuration).
+fn registry() -> Vec<Box<dyn FlowBackend>> {
+    let table = TableConfig {
+        buckets_per_mem: 64,
+        entries_per_bucket: 4,
+        cam_capacity: 64,
+        entry_slot_bytes: 16,
+        hash_seed: 99,
+    };
+    let sim = SimConfig {
+        table,
+        ..SimConfig::test_small()
+    };
+    let mut backends: Vec<Box<dyn FlowBackend>> = BaselineKind::ALL
+        .iter()
+        .map(|&kind| {
+            Builder::new()
+                .table(table)
+                .baseline(kind)
+                .build()
+                .expect("valid baseline config")
+        })
+        .collect();
+    backends.push(Builder::new().table(table).build().expect("valid table"));
+    backends.push(
+        Builder::new()
+            .sim_config(sim.clone())
+            .shards(1)
+            .build()
+            .expect("valid sim"),
+    );
+    backends.push(
+        Builder::new()
+            .sim_config(sim)
+            .shards(2)
+            .build()
+            .expect("valid engine"),
+    );
+    backends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_backends_agree_and_account_monotonically(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut backends = registry();
+        let mut model: HashSet<FlowKey> = HashSet::new();
+        // Per-backend: stats after the previous op, and the running merge
+        // of per-op deltas.
+        let mut prev: Vec<OpStats> = backends.iter().map(|b| b.op_stats()).collect();
+        let initial = prev.clone();
+        let mut merged: Vec<OpStats> = vec![OpStats::default(); backends.len()];
+
+        for op in &ops {
+            // Reference-model answer for this op.
+            let expected = match *op {
+                Op::Insert(k) => model.insert(k),
+                Op::Lookup(k) => model.contains(&k),
+                Op::Remove(k) => model.remove(&k),
+            };
+            for (i, b) in backends.iter_mut().enumerate() {
+                let got = match *op {
+                    Op::Insert(k) => b.insert(k).unwrap_or_else(|e| {
+                        panic!("{} unexpectedly full: {e}", b.name())
+                    }),
+                    Op::Lookup(k) => b.contains(&k),
+                    Op::Remove(k) => b.remove(&k),
+                };
+                prop_assert_eq!(
+                    got, expected,
+                    "{} diverged on {:?}", b.name(), op
+                );
+                prop_assert_eq!(
+                    b.len(), model.len() as u64,
+                    "{} occupancy diverged", b.name()
+                );
+                // Monotone accounting: no counter ever decreases.
+                let now = b.op_stats();
+                prop_assert!(
+                    now.dominates(&prev[i]),
+                    "{} op_stats went backwards: {:?} -> {:?}",
+                    b.name(), prev[i], now
+                );
+                merged[i].merge(&now.delta_since(&prev[i]));
+                prev[i] = now;
+            }
+        }
+
+        // Merge-consistency: the per-op deltas folded in sequence equal
+        // the lifetime counters.
+        for (i, b) in backends.iter().enumerate() {
+            let mut reconstructed = initial[i];
+            reconstructed.merge(&merged[i]);
+            prop_assert_eq!(
+                reconstructed, b.op_stats(),
+                "{} merged deltas disagree with final counters", b.name()
+            );
+        }
+
+        // Final membership sweep over the whole universe.
+        for i in 0..24 {
+            let k = key(i);
+            let expected = model.contains(&k);
+            for b in backends.iter_mut() {
+                prop_assert_eq!(b.contains(&k), expected, "{} final sweep", b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The legacy batch entry points (`FlowLutSim::run`,
+//! `ShardedFlowLut::run`) are thin wrappers over the streaming session
+//! API. These tests pin the behavioural equivalence: on a fixed seeded
+//! fabric trace, the wrapper and a hand-driven session produce
+//! *identical* [`RunReport`]s — same cycle counts, same counters, same
+//! occupancy — for both the single-channel simulator and the sharded
+//! engine.
+
+use flowlut::core::{FlowLutSim, SimConfig};
+use flowlut::engine::{EngineConfig, ShardedFlowLut};
+use flowlut::traffic::fabric::FabricTraceProfile;
+use flowlut::traffic::PacketDescriptor;
+use flowlut::{run_session, RunReport};
+
+fn trace(packets: usize) -> Vec<PacketDescriptor> {
+    FabricTraceProfile::european_2012().generate(packets)
+}
+
+#[test]
+fn sim_legacy_run_equals_streaming_session() {
+    let descs = trace(2_000);
+    let mut legacy = FlowLutSim::new(SimConfig::test_small());
+    let mut session = FlowLutSim::new(SimConfig::test_small());
+
+    let legacy_report: RunReport = legacy.run(&descs).into();
+    let session_report = run_session(&mut session, &descs);
+
+    assert_eq!(legacy_report, session_report);
+    assert_eq!(legacy_report.channels, 1);
+    assert_eq!(legacy_report.completed, 2_000);
+    assert!(legacy_report.sys_cycles > 0);
+}
+
+#[test]
+fn engine_legacy_run_equals_streaming_session() {
+    let descs = trace(2_000);
+    let mut legacy = ShardedFlowLut::new(EngineConfig::test_small());
+    let mut session = ShardedFlowLut::new(EngineConfig::test_small());
+
+    let legacy_report: RunReport = legacy.run(&descs).into();
+    let session_report = run_session(&mut session, &descs);
+
+    assert_eq!(legacy_report, session_report);
+    assert_eq!(legacy_report.channels, 2);
+    assert_eq!(legacy_report.completed, 2_000);
+}
+
+#[test]
+fn equivalence_holds_across_repeated_runs() {
+    // The wrapper differences statistics against the run start; a second
+    // session on a warm instance must report the second run alone, just
+    // as the legacy wrapper does.
+    let first = trace(1_000);
+    let second: Vec<PacketDescriptor> = trace(2_000).split_off(1_000);
+
+    let mut legacy = FlowLutSim::new(SimConfig::test_small());
+    let mut session = FlowLutSim::new(SimConfig::test_small());
+    legacy.run(&first);
+    run_session(&mut session, &first);
+
+    let legacy_report: RunReport = legacy.run(&second).into();
+    let session_report = run_session(&mut session, &second);
+    assert_eq!(legacy_report, session_report);
+    assert_eq!(legacy_report.completed, 1_000);
+}
+
+#[test]
+fn session_report_matches_engine_report_projection() {
+    // The unified report is a faithful projection of the rich engine
+    // report: aggregate counters, cycles and occupancy all agree.
+    let descs = trace(1_500);
+    let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+    let rich = engine.run(&descs);
+    let unified: RunReport = rich.clone().into();
+
+    assert_eq!(unified.stats, rich.aggregate);
+    assert_eq!(unified.sys_cycles, rich.sys_cycles);
+    assert_eq!(unified.occupancy, rich.occupancy());
+    assert_eq!(unified.mdesc_per_s, rich.mdesc_per_s);
+}
