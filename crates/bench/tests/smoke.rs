@@ -1,7 +1,7 @@
 //! CI smoke tests for the paper-artefact harness: every bench binary is
 //! executed in `--smoke` mode (drastically scaled-down workloads), so
-//! all 9 bin targets (8 paper artefacts + the multi-channel engine
-//! sweep) are run-checked — not just compiled — on every `cargo test`.
+//! all 10 bin targets (8 paper artefacts + the multi-channel engine
+//! sweep + the threaded wall-clock sweep) are run-checked — not just compiled — on every `cargo test`.
 //! Each test asserts a successful exit and the report heading that
 //! proves the artefact was actually constructed.
 
@@ -72,4 +72,9 @@ fn multipath_smoke() {
 #[test]
 fn engine_smoke() {
     run_smoke(env!("CARGO_BIN_EXE_engine"), "Sharded flow-LUT engine");
+}
+
+#[test]
+fn parallel_smoke() {
+    run_smoke(env!("CARGO_BIN_EXE_parallel"), "Threaded shard execution");
 }

@@ -165,7 +165,11 @@ impl OpStats {
 /// inserting a resident key is a no-op reporting `Ok(false)` — so one
 /// generated operation sequence produces identical membership answers on
 /// every backend, which the cross-backend conformance suite relies on.
-pub trait FlowStore: fmt::Debug {
+///
+/// Every store is [`Send`]: backends are plain owned data, and the
+/// multi-channel engine's threaded execution mode moves complete
+/// [`FlowLutSim`](crate::FlowLutSim) instances onto worker threads.
+pub trait FlowStore: fmt::Debug + Send {
     /// Human-readable structure name for reports.
     fn name(&self) -> &'static str;
 
@@ -228,6 +232,16 @@ pub struct SessionProgress {
 /// canonical paced driver over exactly these four verbs — the loop the
 /// legacy batch `run` entry points now wrap.
 pub trait FlowPipeline: FlowStore {
+    /// Marks the start of a run: resets per-run watermarks (currently
+    /// the [`SimStats::max_latency_sys`] high-water mark) so each run
+    /// reports its own worst case instead of the pipeline's lifetime
+    /// worst. [`run_session`] calls this before its first [`poll`]
+    /// (hand-driven sessions should do the same); cumulative counters
+    /// are untouched.
+    ///
+    /// [`poll`]: Self::poll
+    fn start_run(&mut self) {}
+
     /// Offers one descriptor. Returns `false` (leaving the descriptor
     /// untaken, and recording an input-stall in the backend's statistics)
     /// when the input stage is full; the caller retries after a tick.
@@ -235,6 +249,17 @@ pub trait FlowPipeline: FlowStore {
 
     /// Advances one system-clock cycle.
     fn tick(&mut self);
+
+    /// Advances `cycles` system-clock cycles in one call — the
+    /// epoch-batched form of [`tick`](Self::tick) for callers that know
+    /// no input arrives during the stretch (idle-time advancement,
+    /// warm-up). Backends may override the per-cycle loop with a
+    /// batched implementation.
+    fn tick_many(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
 
     /// Observes cumulative progress without advancing time.
     fn poll(&self) -> SessionProgress;
@@ -351,11 +376,16 @@ impl RunReport {
 /// the descriptor is re-offered after the next tick. The accumulator is
 /// per-session: credits do not carry between sessions.
 ///
+/// The session opens with [`start_run`](FlowPipeline::start_run), so
+/// per-run watermarks (the max-latency high-water mark) cover this run
+/// alone.
+///
 /// # Panics
 ///
 /// Panics if the pipeline completes nothing for an implausibly long time
 /// (a scheduler deadlock — a bug, not a workload condition).
 pub fn run_session(pipe: &mut dyn FlowPipeline, descs: &[PacketDescriptor]) -> RunReport {
+    pipe.start_run();
     let start = pipe.poll();
     let rate = pipe.input_rate_per_cycle();
     let cap = pipe.burst_cap();

@@ -29,6 +29,38 @@ impl fmt::Display for InsertError {
 
 impl Error for InsertError {}
 
+/// Preloading stopped early.
+///
+/// Preload is *not* transactional: the keys accepted before the failing
+/// one remain loaded (in the table **and** in the simulated DRAM
+/// contents), and `inserted` says exactly how many those are, so callers
+/// can log the partial load, top up, or tear down deliberately instead
+/// of guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreloadError {
+    /// Keys successfully loaded before the failure. They remain
+    /// resident — preload does not roll back.
+    pub inserted: usize,
+    /// The insertion failure that stopped the preload.
+    pub cause: InsertError,
+}
+
+impl fmt::Display for PreloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "preload stopped after {} keys: {}",
+            self.inserted, self.cause
+        )
+    }
+}
+
+impl Error for PreloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
 /// Configuration rejected by [`TableConfig::validate`](crate::table::TableConfig::validate)
 /// or [`SimConfig::validate`](crate::config::SimConfig::validate).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +105,12 @@ mod tests {
             .contains("already present"));
         assert!(InsertError::TableFull.to_string().contains("full"));
         assert!(ConfigError::new("bad").to_string().contains("bad"));
+        let p = PreloadError {
+            inserted: 7,
+            cause: InsertError::TableFull,
+        };
+        assert!(p.to_string().contains("after 7 keys"), "{p}");
+        assert!(std::error::Error::source(&p).is_some());
     }
 
     #[test]
@@ -80,5 +118,6 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<InsertError>();
         assert_send_sync::<ConfigError>();
+        assert_send_sync::<PreloadError>();
     }
 }

@@ -68,7 +68,7 @@ pub use backend::{
     SessionProgress,
 };
 pub use config::{LoadBalancerPolicy, SimConfig};
-pub use error::{ConfigError, InsertError};
+pub use error::{ConfigError, InsertError, PreloadError};
 pub use fid::{FlowId, Location, PathId};
 pub use flow_state::{FlowRecord, FlowStateStore};
 pub use multipath::{MultiHashConfig, MultiHashStats, MultiHashTable, MultiLocation};

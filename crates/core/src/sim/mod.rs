@@ -39,7 +39,7 @@ use crate::backend::{
 };
 use crate::codec;
 use crate::config::{FullTablePolicy, LoadBalancerPolicy, SimConfig};
-use crate::error::InsertError;
+use crate::error::{InsertError, PreloadError};
 use crate::fid::{FlowId, Location, PathId};
 use crate::flow_state::FlowStateStore;
 use crate::table::{HashCamTable, Occupancy};
@@ -264,16 +264,27 @@ impl FlowLutSim {
     ///
     /// # Errors
     ///
-    /// Returns the first [`InsertError`] encountered (duplicate key or
-    /// table full); earlier keys remain loaded.
-    pub fn preload<I>(&mut self, keys: I) -> Result<usize, InsertError>
+    /// Returns a [`PreloadError`] wrapping the first [`InsertError`]
+    /// encountered (duplicate key or table full) and the number of keys
+    /// loaded before it. Preload is not transactional: those earlier
+    /// keys remain fully loaded — in the table *and* in the simulated
+    /// DRAM, so a partially preloaded simulator still answers lookups
+    /// for them consistently.
+    pub fn preload<I>(&mut self, keys: I) -> Result<usize, PreloadError>
     where
         I: IntoIterator<Item = FlowKey>,
     {
         let mut touched: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
         let mut n = 0usize;
+        let mut failure: Option<InsertError> = None;
         for key in keys {
-            let fid = self.table.insert(key)?;
+            let fid = match self.table.insert(key) {
+                Ok(fid) => fid,
+                Err(cause) => {
+                    failure = Some(cause);
+                    break;
+                }
+            };
             if let Location::Mem { path, bucket, .. } =
                 fid.decode(self.cfg.table.entries_per_bucket)
             {
@@ -282,12 +293,17 @@ impl FlowLutSim {
             self.flow_state.on_new_flow(fid, key, 0, 0);
             n += 1;
         }
+        // Flush even on failure: the keys accepted so far must be
+        // readable from DRAM, or later lookups would see stale buckets.
         for (p, buckets) in touched.iter().enumerate() {
             for &bucket in buckets {
                 self.write_bucket_to_storage(p, bucket);
             }
         }
-        Ok(n)
+        match failure {
+            Some(cause) => Err(PreloadError { inserted: n, cause }),
+            None => Ok(n),
+        }
     }
 
     fn write_bucket_to_storage(&mut self, path: usize, bucket: u32) {
@@ -460,6 +476,16 @@ impl FlowLutSim {
         // 7. DLUs push work into the controllers.
         for p in 0..2 {
             self.dlu_issue(p);
+        }
+    }
+
+    /// Advances `cycles` system-clock cycles in one call — the
+    /// epoch-batched form of [`tick`](Self::tick) for drivers that know
+    /// no input will arrive for a stretch (idle-time advancement for
+    /// housekeeping, fixed-length warm-up, coarse-grained co-simulation).
+    pub fn tick_many(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
         }
     }
 
@@ -1116,6 +1142,10 @@ impl FlowStore for FlowLutSim {
 }
 
 impl FlowPipeline for FlowLutSim {
+    fn start_run(&mut self) {
+        self.stats.max_latency_sys = 0;
+    }
+
     fn push(&mut self, desc: PacketDescriptor) -> bool {
         if self.seq_q.len() >= self.cfg.sequencer_depth {
             self.stats.input_stall_cycles += 1;
@@ -1127,6 +1157,10 @@ impl FlowPipeline for FlowLutSim {
 
     fn tick(&mut self) {
         FlowLutSim::tick(self);
+    }
+
+    fn tick_many(&mut self, cycles: u64) {
+        FlowLutSim::tick_many(self, cycles);
     }
 
     fn poll(&self) -> SessionProgress {

@@ -118,7 +118,10 @@ pub struct SimStats {
     /// Sum of admission→completion latency over completed descriptors,
     /// in system cycles.
     pub total_latency_sys: u64,
-    /// Maximum admission→completion latency.
+    /// Maximum admission→completion latency — a *per-run* high-water
+    /// mark, reset by `FlowPipeline::start_run` at each session start
+    /// (unlike every other field, which is cumulative), so repeated runs
+    /// on one instance each report their own worst case.
     pub max_latency_sys: u64,
 }
 
@@ -126,7 +129,8 @@ impl SimStats {
     /// Counter-wise difference `self − earlier`, for per-run reporting on
     /// a simulator that has already processed other work. `max_latency_sys`
     /// is not differenced (it is a high-water mark, not a counter) and is
-    /// taken from `self`.
+    /// taken from `self` — correct per-run because the mark is reset by
+    /// `FlowPipeline::start_run` at each session start.
     pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
         SimStats {
             offered: self.offered - earlier.offered,

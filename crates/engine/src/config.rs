@@ -2,6 +2,28 @@
 
 use flowlut_core::{ConfigError, SimConfig};
 
+/// How the engine advances its shards each system-clock cycle.
+///
+/// Shards share no state by construction — the
+/// [`ShardRouter`](crate::ShardRouter) partition is a pure function of
+/// the key bytes — so they can be stepped on any schedule that keeps
+/// each shard's own cycle sequence intact. Both modes produce
+/// **bit-identical** reports; `Threaded` only changes which host thread
+/// executes each shard's cycle (pinned by the parallel-equivalence
+/// proptest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Every shard stepped by the calling thread, in shard order — the
+    /// reference mode.
+    #[default]
+    Inline,
+    /// Shards partitioned round-robin across `n` executor threads (the
+    /// calling thread plus `n − 1` long-lived workers), synchronised by
+    /// a per-cycle generation barrier. `n` is clamped to the shard
+    /// count; `Threaded(1)` degenerates to `Inline`.
+    Threaded(usize),
+}
+
 /// Full configuration of [`ShardedFlowLut`](crate::ShardedFlowLut).
 ///
 /// Each shard is one complete paper prototype ([`SimConfig`]) — a
@@ -32,6 +54,9 @@ pub struct EngineConfig {
     /// staging fills (its channel is saturated), the splitter stalls the
     /// whole input — head-of-line, as a hardware distributor would.
     pub staging_cap: usize,
+    /// Which host threads step the shards each cycle (bit-identical
+    /// either way; see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl EngineConfig {
@@ -46,6 +71,7 @@ impl EngineConfig {
             batch: 8,
             batch_timeout_sys: 32,
             staging_cap: 64,
+            execution: ExecutionMode::Inline,
         }
     }
 
@@ -95,6 +121,9 @@ impl EngineConfig {
                  (one descriptor per shard per system cycle max)",
                 self.input_rate_mhz
             )));
+        }
+        if self.execution == ExecutionMode::Threaded(0) {
+            return Err(ConfigError::new("Threaded executor count must be non-zero"));
         }
         Ok(())
     }
@@ -147,5 +176,16 @@ mod tests {
     #[test]
     fn prototype_scales_rate_with_shards() {
         assert!((EngineConfig::prototype(8).input_rate_mhz - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threaded_executors_rejected() {
+        let mut c = EngineConfig::test_small();
+        c.execution = ExecutionMode::Threaded(0);
+        assert!(c.validate().is_err());
+        c.execution = ExecutionMode::Threaded(1);
+        c.validate().unwrap();
+        c.execution = ExecutionMode::Threaded(16);
+        c.validate().unwrap();
     }
 }

@@ -1,15 +1,20 @@
-//! The lockstep multi-channel engine.
+//! The lockstep multi-channel engine, with optional host-parallel shard
+//! execution.
 
 use std::collections::VecDeque;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
 use flowlut_core::backend::{
     run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
     SessionProgress,
 };
-use flowlut_core::{FlowLutSim, InsertError, Occupancy, SimSnapshot, SimStats};
+use flowlut_core::{FlowLutSim, Occupancy, PreloadError, SimSnapshot, SimStats};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, ExecutionMode};
 use crate::router::ShardRouter;
 
 /// Per-shard outcome of one engine run.
@@ -64,31 +69,28 @@ impl EngineReport {
             })
     }
 
-    /// Largest / smallest per-shard completion count — 1.0 means a
-    /// perfectly balanced run.
+    /// Largest per-shard completion count over the mean — `1.0` is a
+    /// perfectly balanced run, `N` (the shard count) a run where one
+    /// shard did everything. An all-idle (or empty) run reports `1.0`,
+    /// so short runs with idle shards stay finite and comparable.
     pub fn imbalance(&self) -> f64 {
+        let n = self.per_shard.len();
+        let total: u64 = self.per_shard.iter().map(|s| s.completed).sum();
+        if n == 0 || total == 0 {
+            return 1.0;
+        }
         let max = self
             .per_shard
             .iter()
             .map(|s| s.completed)
             .max()
             .unwrap_or(0);
-        let min = self
-            .per_shard
-            .iter()
-            .map(|s| s.completed)
-            .min()
-            .unwrap_or(0);
-        if min == 0 {
-            f64::INFINITY
-        } else {
-            max as f64 / min as f64
-        }
+        max as f64 * n as f64 / total as f64
     }
 }
 
 /// A point-in-time view of the whole engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineSnapshot {
     /// Engine cycle (equals every shard's cycle — lockstep).
     pub now_sys: u64,
@@ -100,6 +102,278 @@ pub struct EngineSnapshot {
     pub per_shard: Vec<SimSnapshot>,
 }
 
+/// One channel of the engine: the shard's simulator plus the splitter's
+/// per-shard staging queue. Lanes share no state with each other, which
+/// is what makes threaded execution bit-identical to inline execution.
+#[derive(Debug)]
+struct ShardLane {
+    sim: FlowLutSim,
+    staging: VecDeque<PacketDescriptor>,
+    staged_first_cycle: Option<u64>,
+}
+
+impl ShardLane {
+    /// Advances this lane one engine cycle: flushes the staged batch
+    /// into the channel's sequencer when due, then steps the channel.
+    /// A batch is *due* when it reaches the configured size, when its
+    /// oldest descriptor times out, or when end of input has been
+    /// declared. This is the one per-cycle body both execution modes
+    /// run, so the threaded engine is bit-identical by construction.
+    fn step(&mut self, now_sys: u64, draining: bool, batch: usize, batch_timeout_sys: u64) {
+        let due = self.staging.len() >= batch
+            || (draining && !self.staging.is_empty())
+            || self
+                .staged_first_cycle
+                .is_some_and(|t| now_sys - t >= batch_timeout_sys);
+        if due {
+            while let Some(&d) = self.staging.front() {
+                if self.sim.offer(d) {
+                    self.staging.pop_front();
+                } else {
+                    break; // sequencer full; retry next cycle
+                }
+            }
+            self.staged_first_cycle = if self.staging.is_empty() {
+                None
+            } else {
+                Some(now_sys)
+            };
+        }
+        self.sim.tick();
+    }
+
+    /// Splitter side of the lane: descriptors staged plus descriptors
+    /// anywhere inside the channel.
+    fn in_pipeline(&self) -> u64 {
+        self.staging.len() as u64 + self.sim.in_pipeline()
+    }
+}
+
+/// A locked read handle onto one shard's simulator, returned by
+/// [`ShardedFlowLut::shard`]. Dereferences to [`FlowLutSim`]; the lane
+/// lock is held for the guard's lifetime, so keep it short-lived.
+#[derive(Debug)]
+pub struct ShardRef<'a>(MutexGuard<'a, ShardLane>);
+
+impl Deref for ShardRef<'_> {
+    type Target = FlowLutSim;
+
+    fn deref(&self) -> &FlowLutSim {
+        &self.0.sim
+    }
+}
+
+/// Locks a lane, surfacing worker-thread panics instead of silently
+/// continuing on half-stepped state.
+fn lock(lane: &Mutex<ShardLane>) -> MutexGuard<'_, ShardLane> {
+    lane.lock().expect("shard lane poisoned by a worker panic")
+}
+
+/// Coordination state of the worker pool: a hand-rolled generation
+/// barrier. The coordinator publishes a cycle by bumping `gen`; each
+/// worker steps its lanes and bumps `arrived`; the coordinator waits for
+/// all arrivals before the next cycle. Workers spin briefly, then yield,
+/// then park on the condvar — so an idle engine costs no CPU, while an
+/// active one synchronises in nanoseconds on multicore hosts.
+#[derive(Debug)]
+struct PoolShared {
+    /// Tick generation; bumped (SeqCst) to start a round.
+    gen: AtomicU64,
+    /// Engine cycle for the current round, published before `gen`.
+    now_sys: AtomicU64,
+    /// Whether the engine is draining in the current round.
+    draining: AtomicBool,
+    /// Workers that have finished the current round.
+    arrived: AtomicUsize,
+    /// Tells workers to exit at the next generation.
+    shutdown: AtomicBool,
+    /// Set when a worker thread panics, so the coordinator's barrier
+    /// wait fails fast instead of hanging.
+    poisoned: AtomicBool,
+    /// Workers currently parked on `wake`.
+    sleepers: AtomicUsize,
+    /// Busy-wait budget before yielding: [`SPIN_ROUNDS`] on multicore
+    /// hosts (cross-core wakeups land in nanoseconds), `0` on a
+    /// single-core host, where every spin iteration only delays the
+    /// thread that would make progress.
+    spin_rounds: u32,
+    park: Mutex<()>,
+    wake: Condvar,
+}
+
+/// Bounded busy-wait before yielding the CPU: cheap cross-core latency
+/// on multicore hosts.
+const SPIN_ROUNDS: u32 = 1_024;
+/// Yields before parking on the condvar: keeps single-core hosts (and
+/// oversubscribed CI runners) making progress without burning a
+/// scheduling quantum.
+const YIELD_ROUNDS: u32 = 64;
+
+impl PoolShared {
+    /// Worker-side wait for a generation newer than `seen`; returns the
+    /// observed generation.
+    fn wait_for_round(&self, seen: u64) -> u64 {
+        for _ in 0..self.spin_rounds {
+            let g = self.gen.load(Ordering::SeqCst);
+            if g != seen {
+                return g;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..YIELD_ROUNDS {
+            let g = self.gen.load(Ordering::SeqCst);
+            if g != seen {
+                return g;
+            }
+            std::thread::yield_now();
+        }
+        // Park. The sleeper count is registered *before* re-checking the
+        // generation: the coordinator bumps `gen` before reading
+        // `sleepers` (both SeqCst), so either this thread sees the new
+        // generation here, or the coordinator sees the sleeper and
+        // notifies under the park lock — a wake cannot be lost.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.park.lock().expect("pool park mutex poisoned");
+        loop {
+            let g = self.gen.load(Ordering::SeqCst);
+            if g != seen {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return g;
+            }
+            guard = self.wake.wait(guard).expect("pool park mutex poisoned");
+        }
+    }
+
+    /// Coordinator-side round start: publishes the cycle parameters and
+    /// releases the workers.
+    fn start_round(&self, now_sys: u64, draining: bool) {
+        self.arrived.store(0, Ordering::SeqCst);
+        self.now_sys.store(now_sys, Ordering::SeqCst);
+        self.draining.store(draining, Ordering::SeqCst);
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().expect("pool park mutex poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Coordinator-side barrier: waits until all `workers` have stepped
+    /// their lanes for the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (its lanes are lost).
+    fn finish_round(&self, workers: usize) {
+        let mut spins = 0u32;
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                panic!("engine worker thread panicked mid-cycle");
+            }
+            if self.arrived.load(Ordering::SeqCst) == workers {
+                return;
+            }
+            spins += 1;
+            if spins < self.spin_rounds {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Flags the pool as poisoned if its worker unwinds, so the coordinator
+/// panics at the barrier instead of waiting forever.
+struct PanicSentinel(Arc<PoolShared>);
+
+impl Drop for PanicSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The long-lived worker threads of [`ExecutionMode::Threaded`], plus
+/// their shared barrier state. Dropping the pool shuts the workers down
+/// and joins them.
+#[derive(Debug)]
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `executors − 1` workers (the calling thread is executor
+    /// 0). Worker `e` owns the lanes whose index is `e` modulo
+    /// `executors`.
+    fn spawn(
+        executors: usize,
+        lanes: &[Arc<Mutex<ShardLane>>],
+        batch: usize,
+        batch_timeout_sys: u64,
+    ) -> WorkerPool {
+        let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let shared = Arc::new(PoolShared {
+            gen: AtomicU64::new(0),
+            now_sys: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            arrived: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            spin_rounds: if multicore { SPIN_ROUNDS } else { 0 },
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = (1..executors)
+            .map(|e| {
+                let shared = Arc::clone(&shared);
+                let my_lanes: Vec<Arc<Mutex<ShardLane>>> = lanes
+                    .iter()
+                    .skip(e)
+                    .step_by(executors)
+                    .map(Arc::clone)
+                    .collect();
+                std::thread::Builder::new()
+                    .name(format!("flowlut-shard-{e}"))
+                    .spawn(move || {
+                        let _sentinel = PanicSentinel(Arc::clone(&shared));
+                        let mut seen = 0u64;
+                        loop {
+                            seen = shared.wait_for_round(seen);
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let now_sys = shared.now_sys.load(Ordering::SeqCst);
+                            let draining = shared.draining.load(Ordering::SeqCst);
+                            for lane in &my_lanes {
+                                lock(lane).step(now_sys, draining, batch, batch_timeout_sys);
+                            }
+                            shared.arrived.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("spawn engine worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.gen.fetch_add(1, Ordering::SeqCst);
+        {
+            let _guard = self.shared.park.lock().expect("pool park mutex poisoned");
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// N single-channel flow-LUT prototypes ([`FlowLutSim`]) behind a
 /// hash-based [`ShardRouter`], stepped in lockstep on one system clock.
 ///
@@ -109,13 +383,21 @@ pub struct EngineSnapshot {
 /// channel). Because routing is a pure function of the key, all packets
 /// of a flow traverse one channel and the paper's per-flow ordering
 /// invariant holds system-wide.
+///
+/// Under [`ExecutionMode::Threaded`] the per-cycle shard work is
+/// partitioned across a persistent worker pool behind a generation
+/// barrier; because shards share no state, the reports are bit-identical
+/// to [`ExecutionMode::Inline`] (pinned by the parallel-equivalence
+/// proptest).
 #[derive(Debug)]
 pub struct ShardedFlowLut {
     cfg: EngineConfig,
     router: ShardRouter,
-    shards: Vec<FlowLutSim>,
-    staging: Vec<VecDeque<PacketDescriptor>>,
-    staged_first_cycle: Vec<Option<u64>>,
+    lanes: Vec<Arc<Mutex<ShardLane>>>,
+    /// Executor threads stepping shards each cycle (the caller plus the
+    /// pool's workers); 1 in inline mode.
+    executors: usize,
+    pool: Option<WorkerPool>,
     now_sys: u64,
     offered: u64,
     splitter_stall_cycles: u64,
@@ -125,7 +407,8 @@ pub struct ShardedFlowLut {
 }
 
 impl ShardedFlowLut {
-    /// Builds an engine.
+    /// Builds an engine (spawning the worker pool when the configured
+    /// [`ExecutionMode`] asks for one).
     ///
     /// # Panics
     ///
@@ -134,14 +417,26 @@ impl ShardedFlowLut {
     pub fn new(cfg: EngineConfig) -> Self {
         cfg.validate().expect("invalid engine configuration");
         let router = ShardRouter::new(cfg.shards, cfg.router_seed);
-        let shards = (0..cfg.shards)
-            .map(|_| FlowLutSim::new(cfg.shard.clone()))
+        let lanes: Vec<Arc<Mutex<ShardLane>>> = (0..cfg.shards)
+            .map(|_| {
+                Arc::new(Mutex::new(ShardLane {
+                    sim: FlowLutSim::new(cfg.shard.clone()),
+                    staging: VecDeque::new(),
+                    staged_first_cycle: None,
+                }))
+            })
             .collect();
+        let executors = match cfg.execution {
+            ExecutionMode::Inline => 1,
+            ExecutionMode::Threaded(n) => n.clamp(1, cfg.shards),
+        };
+        let pool = (executors > 1)
+            .then(|| WorkerPool::spawn(executors, &lanes, cfg.batch, cfg.batch_timeout_sys));
         ShardedFlowLut {
             router,
-            shards,
-            staging: vec![VecDeque::new(); cfg.shards],
-            staged_first_cycle: vec![None; cfg.shards],
+            lanes,
+            executors,
+            pool,
             now_sys: 0,
             offered: 0,
             splitter_stall_cycles: 0,
@@ -162,12 +457,19 @@ impl ShardedFlowLut {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.lanes.len()
     }
 
-    /// One shard's simulator, for inspection.
-    pub fn shard(&self, i: usize) -> &FlowLutSim {
-        &self.shards[i]
+    /// Executor threads stepping shards each cycle: 1 in inline mode,
+    /// the (clamped) configured count in threaded mode.
+    pub fn executor_count(&self) -> usize {
+        self.executors
+    }
+
+    /// One shard's simulator, for inspection. The returned guard holds
+    /// that shard's lane lock — keep it short-lived.
+    pub fn shard(&self, i: usize) -> ShardRef<'_> {
+        ShardRef(lock(&self.lanes[i]))
     }
 
     /// Current engine cycle.
@@ -177,7 +479,7 @@ impl ShardedFlowLut {
 
     /// Total resident flows across all shards.
     pub fn len(&self) -> u64 {
-        self.shards.iter().map(|s| s.table().len()).sum()
+        self.lanes.iter().map(|l| lock(l).sim.table().len()).sum()
     }
 
     /// `true` when no flows are resident anywhere.
@@ -187,19 +489,26 @@ impl ShardedFlowLut {
 
     /// Occupancy summed over shards.
     pub fn occupancy(&self) -> Occupancy {
-        self.shards.iter().fold(Occupancy::default(), |mut acc, s| {
-            acc += s.table().occupancy();
+        self.lanes.iter().fold(Occupancy::default(), |mut acc, l| {
+            acc += lock(l).sim.table().occupancy();
             acc
         })
     }
 
     /// A point-in-time view of all shards.
     pub fn snapshot(&self) -> EngineSnapshot {
+        let mut staged = 0u64;
+        let mut per_shard = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            let lane = lock(lane);
+            staged += lane.staging.len() as u64;
+            per_shard.push(lane.sim.snapshot());
+        }
         EngineSnapshot {
             now_sys: self.now_sys,
             offered: self.offered,
-            staged: self.staging.iter().map(|q| q.len() as u64).sum(),
-            per_shard: self.shards.iter().map(FlowLutSim::snapshot).collect(),
+            staged,
+            per_shard,
         }
     }
 
@@ -208,19 +517,31 @@ impl ShardedFlowLut {
     ///
     /// # Errors
     ///
-    /// Returns the first [`InsertError`] encountered; earlier keys remain
-    /// loaded.
-    pub fn preload<I>(&mut self, keys: I) -> Result<usize, InsertError>
+    /// Returns a [`PreloadError`] carrying the total number of keys
+    /// loaded before the failure (summed across shards, including the
+    /// failing shard's partial batch). Preload is not transactional:
+    /// those keys remain loaded on their owning shards; the keys routed
+    /// after the failing one are not attempted. Callers that need
+    /// all-or-nothing semantics should rebuild the engine on error.
+    pub fn preload<I>(&mut self, keys: I) -> Result<usize, PreloadError>
     where
         I: IntoIterator<Item = FlowKey>,
     {
-        let mut per_shard: Vec<Vec<FlowKey>> = vec![Vec::new(); self.shards.len()];
+        let mut per_shard: Vec<Vec<FlowKey>> = vec![Vec::new(); self.lanes.len()];
         for key in keys {
             per_shard[self.router.route(&key)].push(key);
         }
         let mut n = 0;
-        for (shard, keys) in self.shards.iter_mut().zip(per_shard) {
-            n += shard.preload(keys)?;
+        for (lane, keys) in self.lanes.iter().zip(per_shard) {
+            match lock(lane).sim.preload(keys) {
+                Ok(k) => n += k,
+                Err(e) => {
+                    return Err(PreloadError {
+                        inserted: n + e.inserted,
+                        cause: e.cause,
+                    })
+                }
+            }
         }
         Ok(n)
     }
@@ -229,7 +550,7 @@ impl ShardedFlowLut {
     /// asynchronously by that channel's update unit).
     pub fn delete_flow(&mut self, key: FlowKey) {
         let s = self.router.route(&key);
-        self.shards[s].delete_flow(key);
+        lock(&self.lanes[s]).sim.delete_flow(key);
     }
 
     /// Advances the whole engine one system-clock cycle: per shard,
@@ -237,43 +558,52 @@ impl ShardedFlowLut {
     /// steps the channel (lockstep). A batch is *due* when it reaches the
     /// configured size, when its oldest descriptor times out, or when end
     /// of input has been declared ([`FlowPipeline::drain`]).
+    ///
+    /// Inline mode steps every lane on the calling thread; threaded mode
+    /// fans the lanes out across the worker pool and waits at the
+    /// per-cycle barrier. Each lane runs the identical per-cycle body
+    /// either way, so the two modes are bit-identical.
     pub fn tick(&mut self) {
         self.now_sys += 1;
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            let due = self.staging[s].len() >= self.cfg.batch
-                || (self.draining && !self.staging[s].is_empty())
-                || self.staged_first_cycle[s]
-                    .is_some_and(|t| self.now_sys - t >= self.cfg.batch_timeout_sys);
-            if due {
-                while let Some(&d) = self.staging[s].front() {
-                    if shard.offer(d) {
-                        self.staging[s].pop_front();
-                    } else {
-                        break; // sequencer full; retry next cycle
-                    }
+        match &self.pool {
+            None => {
+                for lane in &self.lanes {
+                    lock(lane).step(
+                        self.now_sys,
+                        self.draining,
+                        self.cfg.batch,
+                        self.cfg.batch_timeout_sys,
+                    );
                 }
-                self.staged_first_cycle[s] = if self.staging[s].is_empty() {
-                    None
-                } else {
-                    Some(self.now_sys)
-                };
             }
-            shard.tick();
+            Some(pool) => {
+                pool.shared.start_round(self.now_sys, self.draining);
+                // The caller is executor 0: step its own lane share
+                // while the workers run theirs.
+                for lane in self.lanes.iter().step_by(self.executors) {
+                    lock(lane).step(
+                        self.now_sys,
+                        self.draining,
+                        self.cfg.batch,
+                        self.cfg.batch_timeout_sys,
+                    );
+                }
+                pool.shared.finish_round(self.executors - 1);
+            }
         }
     }
 
     /// Descriptors staged at the splitter, queued at a sequencer, or in
     /// flight anywhere in the engine.
     pub fn in_pipeline(&self) -> u64 {
-        self.staging.iter().map(|q| q.len() as u64).sum::<u64>()
-            + self.shards.iter().map(FlowLutSim::in_pipeline).sum::<u64>()
+        self.lanes.iter().map(|l| lock(l).in_pipeline()).sum()
     }
 
     /// Simulator counters merged across all shards (cumulative).
     fn merged_stats(&self) -> SimStats {
         let mut agg = SimStats::default();
-        for shard in &self.shards {
-            agg.merge(shard.stats());
+        for lane in &self.lanes {
+            agg.merge(lock(lane).sim.stats());
         }
         agg
     }
@@ -296,7 +626,7 @@ impl ShardedFlowLut {
     /// (a scheduler deadlock — a bug, not a workload condition).
     pub fn run(&mut self, descs: &[PacketDescriptor]) -> EngineReport {
         let start_cycle = self.now_sys;
-        let start_stats: Vec<SimStats> = self.shards.iter().map(|s| *s.stats()).collect();
+        let start_stats: Vec<SimStats> = self.lanes.iter().map(|l| *lock(l).sim.stats()).collect();
         let start_stalls = self.splitter_stall_cycles;
         let _ = run_session(self, descs);
         self.report(start_cycle, &start_stats, start_stalls)
@@ -314,11 +644,12 @@ impl ShardedFlowLut {
         let elapsed_ns = cycles as f64 * self.cfg.sys_period_ns();
         let mut aggregate = SimStats::default();
         let per_shard: Vec<ShardSummary> = self
-            .shards
+            .lanes
             .iter()
             .enumerate()
-            .map(|(i, shard)| {
-                let stats = shard.stats().delta_since(&start_stats[i]);
+            .map(|(i, lane)| {
+                let lane = lock(lane);
+                let stats = lane.sim.stats().delta_since(&start_stats[i]);
                 aggregate.merge(&stats);
                 ShardSummary {
                     shard: i,
@@ -328,13 +659,13 @@ impl ShardedFlowLut {
                     } else {
                         0.0
                     },
-                    occupancy: shard.table().occupancy(),
+                    occupancy: lane.sim.table().occupancy(),
                     stats,
                 }
             })
             .collect();
         EngineReport {
-            shards: self.shards.len(),
+            shards: self.lanes.len(),
             sys_cycles: cycles,
             elapsed_ns,
             completed: aggregate.completed,
@@ -385,7 +716,10 @@ impl FlowStore for ShardedFlowLut {
     /// not of functional access.
     fn insert(&mut self, key: FlowKey) -> Result<bool, FullError> {
         let s = self.router.route(&key);
-        match FlowStore::insert(&mut self.shards[s], key) {
+        // Drop the lane guard before building the error: the aggregate
+        // occupancy query locks every lane.
+        let result = FlowStore::insert(&mut lock(&self.lanes[s]).sim, key);
+        match result {
             Ok(created) => Ok(created),
             // Re-label with engine-level context: the caller sees the
             // aggregate structure, not the shard that actually rejected.
@@ -400,12 +734,12 @@ impl FlowStore for ShardedFlowLut {
 
     fn contains(&mut self, key: &FlowKey) -> bool {
         let s = self.router.route(key);
-        self.shards[s].table().peek(key).is_some()
+        lock(&self.lanes[s]).sim.table().peek(key).is_some()
     }
 
     fn remove(&mut self, key: &FlowKey) -> bool {
         let s = self.router.route(key);
-        FlowStore::remove(&mut self.shards[s], key)
+        FlowStore::remove(&mut lock(&self.lanes[s]).sim, key)
     }
 
     fn len(&self) -> u64 {
@@ -413,33 +747,40 @@ impl FlowStore for ShardedFlowLut {
     }
 
     fn capacity(&self) -> u64 {
-        self.shards.len() as u64 * self.cfg.shard.table.capacity()
+        self.lanes.len() as u64 * self.cfg.shard.table.capacity()
     }
 
     fn op_stats(&self) -> OpStats {
         let mut agg = OpStats::default();
-        for shard in &self.shards {
-            agg.merge(&FlowStore::op_stats(shard));
+        for lane in &self.lanes {
+            agg.merge(&FlowStore::op_stats(&lock(lane).sim));
         }
         agg
     }
 }
 
 impl FlowPipeline for ShardedFlowLut {
+    fn start_run(&mut self) {
+        for lane in &self.lanes {
+            FlowPipeline::start_run(&mut lock(lane).sim);
+        }
+    }
+
     /// The splitter: routes the descriptor to the shard owning its key
     /// and stages it. `false` (plus a recorded splitter stall) when that
     /// shard's staging is full — head-of-line, as a hardware distributor
     /// would.
     fn push(&mut self, desc: PacketDescriptor) -> bool {
         let s = self.router.route(&desc.key);
-        if self.staging[s].len() >= self.cfg.staging_cap {
+        let mut lane = lock(&self.lanes[s]);
+        if lane.staging.len() >= self.cfg.staging_cap {
             self.splitter_stall_cycles += 1;
             return false;
         }
-        self.staging[s].push_back(desc);
+        lane.staging.push_back(desc);
         // Staged for the cycle the next tick will process (tick
         // increments the clock before flushing).
-        self.staged_first_cycle[s].get_or_insert(self.now_sys + 1);
+        lane.staged_first_cycle.get_or_insert(self.now_sys + 1);
         self.offered += 1;
         true
     }
@@ -460,16 +801,16 @@ impl FlowPipeline for ShardedFlowLut {
     fn drain(&mut self) -> u64 {
         // Completed-only view for the per-cycle watchdog (one u64 per
         // shard; the full statistics merge is reserved for poll()).
-        fn completed_total(shards: &[FlowLutSim]) -> u64 {
-            shards.iter().map(|s| s.stats().completed).sum()
+        fn completed_total(lanes: &[Arc<Mutex<ShardLane>>]) -> u64 {
+            lanes.iter().map(|l| lock(l).sim.stats().completed).sum()
         }
         let start = self.now_sys;
         self.draining = true;
-        let mut completed = completed_total(&self.shards);
+        let mut completed = completed_total(&self.lanes);
         let mut last_progress_cycle = self.now_sys;
         while self.in_pipeline() > 0 {
             ShardedFlowLut::tick(self);
-            let c = completed_total(&self.shards);
+            let c = completed_total(&self.lanes);
             if c > completed {
                 completed = c;
                 last_progress_cycle = self.now_sys;
@@ -479,7 +820,10 @@ impl FlowPipeline for ShardedFlowLut {
                 "no completion for 2M cycles: {} offered, {completed} done, {} staged \
                  — engine deadlock",
                 self.offered,
-                self.staging.iter().map(VecDeque::len).sum::<usize>(),
+                self.lanes
+                    .iter()
+                    .map(|l| lock(l).staging.len())
+                    .sum::<usize>(),
             );
         }
         self.draining = false;
@@ -495,11 +839,11 @@ impl FlowPipeline for ShardedFlowLut {
     }
 
     fn burst_cap(&self) -> f64 {
-        8.0 * self.shards.len() as f64
+        8.0 * self.lanes.len() as f64
     }
 
     fn channels(&self) -> usize {
-        self.shards.len()
+        self.lanes.len()
     }
 }
 
@@ -512,6 +856,7 @@ impl FlowBackend for ShardedFlowLut {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowlut_core::InsertError;
     use flowlut_traffic::FiveTuple;
 
     fn key(i: u64) -> FlowKey {
@@ -538,9 +883,9 @@ mod tests {
         // Every key is resident exactly on its routed shard.
         for i in 0..400 {
             let owner = engine.router().route(&key(i));
-            for (s, shard) in engine.shards.iter().enumerate() {
+            for s in 0..engine.shard_count() {
                 assert_eq!(
-                    shard.table().peek(&key(i)).is_some(),
+                    engine.shard(s).table().peek(&key(i)).is_some(),
                     s == owner,
                     "key {i} on shard {s}, owner {owner}"
                 );
@@ -575,6 +920,45 @@ mod tests {
     }
 
     #[test]
+    fn preload_partial_failure_reports_total_inserted() {
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        // A duplicate planted mid-batch stops the preload on the owning
+        // shard; the error must count every key loaded engine-wide
+        // before the failure, not just the failing shard's progress.
+        let mut keys: Vec<FlowKey> = (0..100).map(key).collect();
+        keys.push(key(50));
+        keys.extend((100..150).map(key));
+        let err = engine
+            .preload(keys.iter().copied())
+            .expect_err("duplicate key must stop the preload");
+        assert!(matches!(err.cause, InsertError::Duplicate(_)));
+        assert_eq!(
+            err.inserted as u64,
+            engine.len(),
+            "inserted count must equal the keys actually resident"
+        );
+        assert!(err.inserted > 0, "keys before the duplicate were loaded");
+        assert!(
+            (err.inserted as u64) < engine.capacity(),
+            "the failure stopped the batch early"
+        );
+        // The partial load is live: every key the engine reports
+        // resident hits without a new insert.
+        let probe: Vec<PacketDescriptor> =
+            PacketDescriptor::sequence((0..150).map(key).filter(|k| {
+                let s = engine.router().route(k);
+                engine.shard(s).table().peek(k).is_some()
+            }));
+        assert_eq!(probe.len() as u64, engine.len());
+        let report = engine.run(&probe);
+        assert_eq!(
+            report.aggregate.inserted_mem + report.aggregate.inserted_cam,
+            0,
+            "keys loaded before the failure must be resident and readable"
+        );
+    }
+
+    #[test]
     fn delete_flow_reaches_the_owning_shard() {
         let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
         engine.run(&descs(0..50));
@@ -598,7 +982,8 @@ mod tests {
             .collect();
         let report = engine.run(&work);
         assert_eq!(report.completed, 300);
-        for shard in &engine.shards {
+        for s in 0..engine.shard_count() {
+            let shard = engine.shard(s);
             let mut last_done: std::collections::HashMap<FlowKey, u64> = Default::default();
             for d in shard.descriptors() {
                 let done = d.t_done.expect("all completed");
@@ -632,11 +1017,131 @@ mod tests {
     }
 
     #[test]
+    fn max_latency_does_not_leak_across_runs() {
+        // Run 1 saturates the engine (high queueing latency); run 2 is a
+        // single warm hit. Before the per-run watermark, run 2's report
+        // carried run 1's lifetime maximum.
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let r1 = engine.run(&descs(0..400));
+        assert!(r1.aggregate.max_latency_sys > 0);
+        let r2 = engine.run(&descs(0..1));
+        assert!(
+            r2.aggregate.max_latency_sys < r1.aggregate.max_latency_sys,
+            "run 2 max {} should not inherit run 1 max {}",
+            r2.aggregate.max_latency_sys,
+            r1.aggregate.max_latency_sys
+        );
+    }
+
+    #[test]
     fn empty_run_returns_zeroes() {
         let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
         let report = engine.run(&[]);
         assert_eq!(report.completed, 0);
         assert_eq!(report.sys_cycles, 0);
         assert_eq!(report.mdesc_per_s, 0.0);
+    }
+
+    fn summary(shard: usize, completed: u64) -> ShardSummary {
+        ShardSummary {
+            shard,
+            completed,
+            mdesc_per_s: 0.0,
+            occupancy: Occupancy::default(),
+            stats: SimStats::default(),
+        }
+    }
+
+    fn report_with_completions(completions: &[u64]) -> EngineReport {
+        EngineReport {
+            shards: completions.len(),
+            sys_cycles: 100,
+            elapsed_ns: 500.0,
+            completed: completions.iter().sum(),
+            mdesc_per_s: 0.0,
+            mean_latency_ns: 0.0,
+            aggregate: SimStats::default(),
+            splitter_stall_cycles: 0,
+            per_shard: completions
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| summary(i, c))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let r = report_with_completions(&[100, 100, 100, 100]);
+        assert!((r.imbalance() - 1.0).abs() < 1e-12);
+        let r = report_with_completions(&[300, 100, 100, 100]);
+        // max 300, mean 150 → 2.0
+        assert!((r.imbalance() - 2.0).abs() < 1e-12, "{}", r.imbalance());
+    }
+
+    #[test]
+    fn imbalance_stays_finite_with_idle_shards() {
+        // One shard idle: the old max/min definition collapsed to +inf.
+        let r = report_with_completions(&[90, 0, 90]);
+        assert!(r.imbalance().is_finite());
+        assert!((r.imbalance() - 1.5).abs() < 1e-12, "{}", r.imbalance());
+        // One shard did everything: imbalance equals the shard count.
+        let r = report_with_completions(&[0, 0, 120]);
+        assert!((r.imbalance() - 3.0).abs() < 1e-12, "{}", r.imbalance());
+    }
+
+    #[test]
+    fn imbalance_of_an_empty_run_is_one() {
+        let r = report_with_completions(&[0, 0]);
+        assert_eq!(r.imbalance(), 1.0);
+        let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
+        let live = engine.run(&[]);
+        assert_eq!(live.imbalance(), 1.0, "empty run must stay comparable");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine deadlock")]
+    fn drain_watchdog_fires_on_a_stalled_pipeline() {
+        // A CAM stage that never becomes ready wedges the sequencer with
+        // one descriptor in flight forever: the drain watchdog must
+        // panic (diagnosably) rather than hang the process.
+        let mut cfg = EngineConfig::test_small();
+        cfg.shards = 1;
+        cfg.input_rate_mhz = 100.0;
+        cfg.shard.clock_ratio = 1; // cheapest possible stalled cycles
+        cfg.shard.cam_latency_sys = u64::MAX / 4;
+        let mut engine = ShardedFlowLut::new(cfg);
+        assert!(FlowPipeline::push(
+            &mut engine,
+            PacketDescriptor::new(0, key(1))
+        ));
+        FlowPipeline::drain(&mut engine);
+    }
+
+    #[test]
+    fn threaded_engine_spawns_and_clamps_executors() {
+        let mut cfg = EngineConfig::test_small();
+        cfg.execution = ExecutionMode::Threaded(8);
+        let engine = ShardedFlowLut::new(cfg);
+        assert_eq!(
+            engine.executor_count(),
+            engine.shard_count(),
+            "executors clamp to the shard count"
+        );
+        // Dropping the engine joins the pool (hang here = shutdown bug).
+    }
+
+    #[test]
+    fn threaded_run_matches_inline_run() {
+        let inline_cfg = EngineConfig::test_small();
+        let mut threaded_cfg = EngineConfig::test_small();
+        threaded_cfg.execution = ExecutionMode::Threaded(2);
+        let mut inline_engine = ShardedFlowLut::new(inline_cfg);
+        let mut threaded_engine = ShardedFlowLut::new(threaded_cfg);
+        let work = descs(0..300);
+        let a = inline_engine.run(&work);
+        let b = threaded_engine.run(&work);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "reports diverged");
+        assert_eq!(inline_engine.snapshot(), threaded_engine.snapshot());
     }
 }

@@ -18,6 +18,11 @@
 //!   batches, preserving the paper's burst-grouping within each channel;
 //!   [`EngineReport`] aggregates occupancy, throughput and latency
 //!   across shards.
+//! * [`ExecutionMode`] — inline or threaded shard stepping: because
+//!   shards share no state, `Threaded(n)` spreads the per-cycle shard
+//!   work across a persistent worker pool with **bit-identical**
+//!   reports (pinned by the parallel-equivalence proptest), converting
+//!   simulated channel parallelism into real host-CPU parallelism.
 //!
 //! ## Quick start
 //!
@@ -42,6 +47,6 @@ mod config;
 mod engine;
 mod router;
 
-pub use config::EngineConfig;
-pub use engine::{EngineReport, EngineSnapshot, ShardSummary, ShardedFlowLut};
+pub use config::{EngineConfig, ExecutionMode};
+pub use engine::{EngineReport, EngineSnapshot, ShardRef, ShardSummary, ShardedFlowLut};
 pub use router::ShardRouter;

@@ -67,4 +67,20 @@ fn main() {
     let table = sim.table().len();
     println!("\nlive flows: {live} (table holds {table})");
     assert_eq!(live as u64, table, "records and table must agree");
+
+    // Idle-time advance: no packets arrive, so the whole stretch can be
+    // stepped in one epoch-batched call. Half a millisecond of silence
+    // puts every flow past the 200 us idle timeout, and the
+    // housekeeping scans sweep them out.
+    sim.tick_many(100_000);
+    println!(
+        "after 0.5 ms idle: {} live flows, {} expired by housekeeping in total",
+        sim.flow_state().len(),
+        sim.stats().housekeeping_expired
+    );
+    assert!(
+        sim.flow_state().len() < live,
+        "idle flows must expire during the idle stretch"
+    );
+    assert_eq!(sim.flow_state().len() as u64, sim.table().len());
 }

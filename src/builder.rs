@@ -38,7 +38,7 @@ use flowlut_baselines::{
 use flowlut_core::backend::FlowBackend;
 use flowlut_core::{ConfigError, FlowLutSim, HashCamTable, SimConfig, TableConfig};
 use flowlut_ddr3::TimingPreset;
-use flowlut_engine::{EngineConfig, ShardedFlowLut};
+use flowlut_engine::{EngineConfig, ExecutionMode, ShardedFlowLut};
 
 /// The related-work comparators [`Builder::baseline`] can construct,
 /// sized to match the configured [`TableConfig`]'s capacity.
@@ -92,6 +92,7 @@ pub struct Builder {
     sim: Option<SimConfig>,
     timing: Option<TimingPreset>,
     shards: Option<usize>,
+    threads: Option<usize>,
     input_rate_mhz: Option<f64>,
     seed: Option<u64>,
     baseline: Option<BaselineKind>,
@@ -127,6 +128,31 @@ impl Builder {
     /// prototype; `>= 2` the sharded engine.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Number of host executor threads stepping the engine's shards
+    /// each cycle (the calling thread plus `n − 1` workers). `1` is
+    /// inline execution; `n >= 2` selects
+    /// [`ExecutionMode::Threaded`](flowlut_engine::ExecutionMode) —
+    /// bit-identical reports, real host-CPU parallelism. Only
+    /// meaningful with [`shards`](Self::shards)` >= 2`; rejected for
+    /// every other backend.
+    ///
+    /// ```
+    /// use flowlut::Builder;
+    /// use flowlut::core::SimConfig;
+    ///
+    /// let mut engine = Builder::new()
+    ///     .sim_config(SimConfig::test_small())
+    ///     .shards(4)
+    ///     .threads(2)
+    ///     .build()?;
+    /// assert_eq!(engine.name(), "hashcam-sharded");
+    /// # Ok::<(), flowlut::core::ConfigError>(())
+    /// ```
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -188,16 +214,25 @@ impl Builder {
                 || self.timing.is_some()
                 || self.sim.is_some()
                 || self.input_rate_mhz.is_some()
+                || self.threads.is_some()
             {
                 return Err(ConfigError::new(
-                    "baselines are untimed: they take no shards/timing/sim_config/input_rate_mhz",
+                    "baselines are untimed: they take no \
+                     shards/timing/sim_config/input_rate_mhz/threads",
                 ));
             }
             return Ok(self.build_baseline(kind));
         }
+        if self.threads == Some(0) {
+            return Err(ConfigError::new("threads must be non-zero"));
+        }
         match self.shards {
             Some(0) => Err(ConfigError::new("shards must be non-zero")),
             Some(n) if n >= 2 => Ok(Box::new(self.build_engine()?)),
+            _ if self.threads.is_some() => Err(ConfigError::new(
+                "threads require the sharded engine (shards >= 2): single-channel \
+                 backends have nothing to parallelise",
+            )),
             Some(_) => Ok(Box::new(self.build_sim()?)),
             None if self.timing.is_some() || self.sim.is_some() => Ok(Box::new(self.build_sim()?)),
             None => Ok(Box::new(self.build_table()?)),
@@ -235,6 +270,9 @@ impl Builder {
     ///
     /// [`ConfigError`] if the engine configuration is invalid.
     pub fn build_engine(self) -> Result<ShardedFlowLut, ConfigError> {
+        if self.threads == Some(0) {
+            return Err(ConfigError::new("threads must be non-zero"));
+        }
         let shards = self.shards.unwrap_or(2);
         let shard = self.effective_sim_config();
         let mut cfg = EngineConfig::prototype(shards);
@@ -246,6 +284,10 @@ impl Builder {
         if let Some(seed) = self.seed {
             cfg.router_seed = seed;
         }
+        cfg.execution = match self.threads {
+            Some(n) if n >= 2 => ExecutionMode::Threaded(n),
+            _ => ExecutionMode::Inline,
+        };
         cfg.shard = shard;
         cfg.validate()?;
         Ok(ShardedFlowLut::new(cfg))
@@ -345,6 +387,57 @@ mod tests {
     #[test]
     fn zero_shards_rejected() {
         assert!(Builder::new().shards(0).build().is_err());
+    }
+
+    #[test]
+    fn threads_select_threaded_engine_execution() {
+        let engine = Builder::new()
+            .sim_config(SimConfig::test_small())
+            .shards(2)
+            .threads(2)
+            .build_engine()
+            .unwrap();
+        assert_eq!(
+            engine.config().execution,
+            flowlut_engine::ExecutionMode::Threaded(2)
+        );
+        assert_eq!(engine.executor_count(), 2);
+        let inline = Builder::new()
+            .sim_config(SimConfig::test_small())
+            .shards(2)
+            .threads(1)
+            .build_engine()
+            .unwrap();
+        assert_eq!(inline.executor_count(), 1);
+    }
+
+    #[test]
+    fn threads_rejected_off_the_engine_path() {
+        assert!(Builder::new()
+            .sim_config(SimConfig::test_small())
+            .threads(2)
+            .build()
+            .is_err());
+        assert!(Builder::new()
+            .table(TableConfig::test_small())
+            .threads(4)
+            .build()
+            .is_err());
+        // threads(1) is rejected off the engine path too, matching the
+        // documented contract (no silent drops).
+        assert!(Builder::new()
+            .table(TableConfig::test_small())
+            .threads(1)
+            .build()
+            .is_err());
+        assert!(Builder::new().shards(1).threads(1).build().is_err());
+        assert!(Builder::new()
+            .baseline(BaselineKind::Cuckoo)
+            .threads(2)
+            .build()
+            .is_err());
+        assert!(Builder::new().shards(4).threads(0).build().is_err());
+        assert!(Builder::new().shards(4).threads(0).build_engine().is_err());
     }
 
     #[test]
