@@ -19,7 +19,7 @@
 //! engine.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt::Display;
 

@@ -49,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
@@ -61,6 +61,7 @@ pub mod flow_state;
 pub mod multipath;
 pub mod resource;
 pub mod sim;
+pub mod sync;
 pub mod table;
 
 pub use backend::{

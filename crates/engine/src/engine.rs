@@ -3,18 +3,17 @@
 
 use std::collections::VecDeque;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 
 use flowlut_core::backend::{
     run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
     SessionProgress,
 };
+use flowlut_core::sync::{Arc, Mutex, MutexGuard};
 use flowlut_core::{FlowLutSim, Occupancy, PreloadError, SimSnapshot, SimStats};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
 use crate::config::{EngineConfig, ExecutionMode};
+use crate::pool::WorkerPool;
 use crate::router::ShardRouter;
 
 /// Per-shard outcome of one engine run.
@@ -169,211 +168,6 @@ fn lock(lane: &Mutex<ShardLane>) -> MutexGuard<'_, ShardLane> {
     lane.lock().expect("shard lane poisoned by a worker panic")
 }
 
-/// Coordination state of the worker pool: a hand-rolled generation
-/// barrier. The coordinator publishes a cycle by bumping `gen`; each
-/// worker steps its lanes and bumps `arrived`; the coordinator waits for
-/// all arrivals before the next cycle. Workers spin briefly, then yield,
-/// then park on the condvar — so an idle engine costs no CPU, while an
-/// active one synchronises in nanoseconds on multicore hosts.
-#[derive(Debug)]
-struct PoolShared {
-    /// Tick generation; bumped (SeqCst) to start a round.
-    gen: AtomicU64,
-    /// Engine cycle for the current round, published before `gen`.
-    now_sys: AtomicU64,
-    /// Whether the engine is draining in the current round.
-    draining: AtomicBool,
-    /// Workers that have finished the current round.
-    arrived: AtomicUsize,
-    /// Tells workers to exit at the next generation.
-    shutdown: AtomicBool,
-    /// Set when a worker thread panics, so the coordinator's barrier
-    /// wait fails fast instead of hanging.
-    poisoned: AtomicBool,
-    /// Workers currently parked on `wake`.
-    sleepers: AtomicUsize,
-    /// Busy-wait budget before yielding: [`SPIN_ROUNDS`] on multicore
-    /// hosts (cross-core wakeups land in nanoseconds), `0` on a
-    /// single-core host, where every spin iteration only delays the
-    /// thread that would make progress.
-    spin_rounds: u32,
-    park: Mutex<()>,
-    wake: Condvar,
-}
-
-/// Bounded busy-wait before yielding the CPU: cheap cross-core latency
-/// on multicore hosts.
-const SPIN_ROUNDS: u32 = 1_024;
-/// Yields before parking on the condvar: keeps single-core hosts (and
-/// oversubscribed CI runners) making progress without burning a
-/// scheduling quantum.
-const YIELD_ROUNDS: u32 = 64;
-
-impl PoolShared {
-    /// Worker-side wait for a generation newer than `seen`; returns the
-    /// observed generation.
-    fn wait_for_round(&self, seen: u64) -> u64 {
-        for _ in 0..self.spin_rounds {
-            let g = self.gen.load(Ordering::SeqCst);
-            if g != seen {
-                return g;
-            }
-            std::hint::spin_loop();
-        }
-        for _ in 0..YIELD_ROUNDS {
-            let g = self.gen.load(Ordering::SeqCst);
-            if g != seen {
-                return g;
-            }
-            std::thread::yield_now();
-        }
-        // Park. The sleeper count is registered *before* re-checking the
-        // generation: the coordinator bumps `gen` before reading
-        // `sleepers` (both SeqCst), so either this thread sees the new
-        // generation here, or the coordinator sees the sleeper and
-        // notifies under the park lock — a wake cannot be lost.
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.park.lock().expect("pool park mutex poisoned");
-        loop {
-            let g = self.gen.load(Ordering::SeqCst);
-            if g != seen {
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
-                return g;
-            }
-            guard = self.wake.wait(guard).expect("pool park mutex poisoned");
-        }
-    }
-
-    /// Coordinator-side round start: publishes the cycle parameters and
-    /// releases the workers.
-    fn start_round(&self, now_sys: u64, draining: bool) {
-        self.arrived.store(0, Ordering::SeqCst);
-        self.now_sys.store(now_sys, Ordering::SeqCst);
-        self.draining.store(draining, Ordering::SeqCst);
-        self.gen.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.park.lock().expect("pool park mutex poisoned");
-            self.wake.notify_all();
-        }
-    }
-
-    /// Coordinator-side barrier: waits until all `workers` have stepped
-    /// their lanes for the current round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked (its lanes are lost).
-    fn finish_round(&self, workers: usize) {
-        let mut spins = 0u32;
-        loop {
-            if self.poisoned.load(Ordering::SeqCst) {
-                panic!("engine worker thread panicked mid-cycle");
-            }
-            if self.arrived.load(Ordering::SeqCst) == workers {
-                return;
-            }
-            spins += 1;
-            if spins < self.spin_rounds {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-}
-
-/// Flags the pool as poisoned if its worker unwinds, so the coordinator
-/// panics at the barrier instead of waiting forever.
-struct PanicSentinel(Arc<PoolShared>);
-
-impl Drop for PanicSentinel {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.poisoned.store(true, Ordering::SeqCst);
-        }
-    }
-}
-
-/// The long-lived worker threads of [`ExecutionMode::Threaded`], plus
-/// their shared barrier state. Dropping the pool shuts the workers down
-/// and joins them.
-#[derive(Debug)]
-struct WorkerPool {
-    shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawns `executors − 1` workers (the calling thread is executor
-    /// 0). Worker `e` owns the lanes whose index is `e` modulo
-    /// `executors`.
-    fn spawn(
-        executors: usize,
-        lanes: &[Arc<Mutex<ShardLane>>],
-        batch: usize,
-        batch_timeout_sys: u64,
-    ) -> WorkerPool {
-        let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
-        let shared = Arc::new(PoolShared {
-            gen: AtomicU64::new(0),
-            now_sys: AtomicU64::new(0),
-            draining: AtomicBool::new(false),
-            arrived: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            poisoned: AtomicBool::new(false),
-            sleepers: AtomicUsize::new(0),
-            spin_rounds: if multicore { SPIN_ROUNDS } else { 0 },
-            park: Mutex::new(()),
-            wake: Condvar::new(),
-        });
-        let handles = (1..executors)
-            .map(|e| {
-                let shared = Arc::clone(&shared);
-                let my_lanes: Vec<Arc<Mutex<ShardLane>>> = lanes
-                    .iter()
-                    .skip(e)
-                    .step_by(executors)
-                    .map(Arc::clone)
-                    .collect();
-                std::thread::Builder::new()
-                    .name(format!("flowlut-shard-{e}"))
-                    .spawn(move || {
-                        let _sentinel = PanicSentinel(Arc::clone(&shared));
-                        let mut seen = 0u64;
-                        loop {
-                            seen = shared.wait_for_round(seen);
-                            if shared.shutdown.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            let now_sys = shared.now_sys.load(Ordering::SeqCst);
-                            let draining = shared.draining.load(Ordering::SeqCst);
-                            for lane in &my_lanes {
-                                lock(lane).step(now_sys, draining, batch, batch_timeout_sys);
-                            }
-                            shared.arrived.fetch_add(1, Ordering::SeqCst);
-                        }
-                    })
-                    .expect("spawn engine worker thread")
-            })
-            .collect();
-        WorkerPool { shared, handles }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.gen.fetch_add(1, Ordering::SeqCst);
-        {
-            let _guard = self.shared.park.lock().expect("pool park mutex poisoned");
-            self.shared.wake.notify_all();
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
 /// N single-channel flow-LUT prototypes ([`FlowLutSim`]) behind a
 /// hash-based [`ShardRouter`], stepped in lockstep on one system clock.
 ///
@@ -430,8 +224,28 @@ impl ShardedFlowLut {
             ExecutionMode::Inline => 1,
             ExecutionMode::Threaded(n) => n.clamp(1, cfg.shards),
         };
-        let pool = (executors > 1)
-            .then(|| WorkerPool::spawn(executors, &lanes, cfg.batch, cfg.batch_timeout_sys));
+        // Worker `e` owns the lanes whose index is `e` modulo
+        // `executors`; the engine's `tick` (executor 0) steps the
+        // remainder between `start_round` and `finish_round`.
+        let pool = (executors > 1).then(|| {
+            let workers: Vec<_> = (1..executors)
+                .map(|e| {
+                    let my_lanes: Vec<Arc<Mutex<ShardLane>>> = lanes
+                        .iter()
+                        .skip(e)
+                        .step_by(executors)
+                        .map(Arc::clone)
+                        .collect();
+                    let (batch, batch_timeout_sys) = (cfg.batch, cfg.batch_timeout_sys);
+                    move |now_sys: u64, draining: bool| {
+                        for lane in &my_lanes {
+                            lock(lane).step(now_sys, draining, batch, batch_timeout_sys);
+                        }
+                    }
+                })
+                .collect();
+            WorkerPool::spawn(workers)
+        });
         ShardedFlowLut {
             router,
             lanes,
@@ -577,7 +391,7 @@ impl ShardedFlowLut {
                 }
             }
             Some(pool) => {
-                pool.shared.start_round(self.now_sys, self.draining);
+                pool.start_round(self.now_sys, self.draining);
                 // The caller is executor 0: step its own lane share
                 // while the workers run theirs.
                 for lane in self.lanes.iter().step_by(self.executors) {
@@ -588,7 +402,7 @@ impl ShardedFlowLut {
                         self.cfg.batch_timeout_sys,
                     );
                 }
-                pool.shared.finish_round(self.executors - 1);
+                pool.finish_round();
             }
         }
     }

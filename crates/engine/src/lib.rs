@@ -40,13 +40,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod config;
 mod engine;
+pub mod pool;
 mod router;
 
 pub use config::{EngineConfig, ExecutionMode};
 pub use engine::{EngineReport, EngineSnapshot, ShardRef, ShardSummary, ShardedFlowLut};
+pub use pool::WorkerPool;
 pub use router::ShardRouter;

@@ -1,0 +1,224 @@
+//! # loomlite — a loom-style concurrency model checker, offline
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a small deterministic model checker implementing the subset
+//! of the [`loom`](https://docs.rs/loom) API its concurrency tests use:
+//! [`model`], [`thread::spawn`], [`sync::Mutex`], [`sync::Condvar`] and
+//! [`sync::atomic`]. Code written against `flowlut_core::sync` (the
+//! std/loomlite facade) runs unchanged under the checker when built
+//! with `--cfg flowlut_model`.
+//!
+//! ## What it explores
+//!
+//! Each logical thread runs on an OS thread, but the runtime keeps
+//! exactly one unblocked at a time: before every synchronization
+//! operation (atomic access, mutex lock/unlock, condvar wait/notify,
+//! spawn/join/yield) the scheduler decides which thread runs next. All
+//! such decisions form a replayable tree that [`model`] explores
+//! depth-first — **exhaustively within a CHESS-style preemption bound**
+//! (involuntary context switches per execution are capped, switches at
+//! blocking points are free; see [`Builder::preemption_bound`]).
+//!
+//! Atomics carry a store-visibility model of the C11 orderings: a
+//! `Relaxed`/`Acquire` load may read *any* store not yet overwritten in
+//! the reader's happens-before view (each possibility is a branch of
+//! the tree), release→acquire edges and mutex/spawn/join edges
+//! propagate visibility, and read-modify-writes always read the newest
+//! store. So an under-synchronized protocol — a `Relaxed` publish, a
+//! store→load Dekker pattern without `SeqCst` — produces executions
+//! with stale reads that assertions (or the deadlock detector) catch.
+//!
+//! ## What it reports
+//!
+//! A [`Violation`]: deadlock (every remaining thread blocked — this is
+//! how lost wakeups surface), a panic in any thread not observed by a
+//! `join`, or a step-budget overrun (livelock / unbounded spin).
+//!
+//! ## Approximations (vs. real loom)
+//!
+//! * `SeqCst` is modeled as acquire/release **plus reading the newest
+//!   store** — strong enough to validate store→load (Dekker) protocols,
+//!   but not a full C11 SC axiomatization.
+//! * No spurious condvar wakeups are generated.
+//! * Exploration is bounded by preemptions, not DPOR-reduced; keep
+//!   modeled tests to a few threads and a few dozen operations.
+//!
+//! ```
+//! use loomlite::sync::atomic::{AtomicU64, Ordering};
+//! use loomlite::sync::Arc;
+//!
+//! loomlite::model(|| {
+//!     let a = Arc::new(AtomicU64::new(0));
+//!     let b = Arc::clone(&a);
+//!     let t = loomlite::thread::spawn(move || b.fetch_add(1, Ordering::AcqRel));
+//!     a.fetch_add(1, Ordering::AcqRel);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::Acquire), 2);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::Violation;
+
+/// `std::hint` stand-ins.
+pub mod hint {
+    /// Spin-loop hint: under the model this is a forced yield to
+    /// another runnable thread (see [`crate::thread::yield_now`]).
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}
+
+use std::sync::Arc;
+
+/// Renders a panic payload (`&str` or `String`) for reports and
+/// assertions on caught panics.
+pub fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Exploration configuration. The defaults explore exhaustively up to 3
+/// preemptions per execution, which catches every bug class the
+/// workspace's barrier tests assert (and is the bound the CI model
+/// suite runs at).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution; `None` means
+    /// unbounded (full interleaving exploration — rarely tractable).
+    pub preemption_bound: Option<u32>,
+    /// Per-execution operation budget before declaring livelock.
+    pub max_steps: usize,
+    /// Total executions budget; exceeding it is a test error (raise the
+    /// bound knowingly rather than silently truncating coverage).
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            preemption_bound: Some(3),
+            max_steps: 50_000,
+            max_executions: 500_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Sets the preemption bound (see [`Builder::preemption_bound`]).
+    pub fn preemption_bound(mut self, bound: Option<u32>) -> Builder {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Explores `f` under every schedule within the bounds, panicking
+    /// with the violation (and the number of executions explored) on
+    /// the first buggy schedule. Returns the number of executions when
+    /// the property holds.
+    pub fn check<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.explore(f) {
+            Ok(n) => n,
+            Err((v, n)) => panic!("loomlite found a violation after {n} execution(s): {v}"),
+        }
+    }
+
+    /// Like [`Builder::check`] but returns the violation instead of
+    /// panicking — the hook the checker's own regression tests (seeded
+    /// mutations that loomlite *must* catch) are built on.
+    pub fn check_violation<F>(&self, f: F) -> Option<Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.explore(f).err().map(|(v, _)| v)
+    }
+
+    fn explore<F>(&self, f: F) -> Result<usize, (Violation, usize)>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut path: Vec<rt::Branch> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "loomlite execution budget ({}) exhausted — tighten the test \
+                 or raise Builder::max_executions",
+                self.max_executions
+            );
+            let limits = rt::Limits {
+                preemption_bound: self.preemption_bound,
+                max_steps: self.max_steps,
+            };
+            let runtime = rt::Runtime::new(limits, path.clone());
+            runtime.register_root();
+            let body = Arc::clone(&f);
+            let root_rt = Arc::clone(&runtime);
+            let root = std::thread::Builder::new()
+                .name("loomlite-root".into())
+                .spawn(move || {
+                    let rt2 = Arc::clone(&root_rt);
+                    root_rt.run_thread(0, move || {
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body()));
+                        if let Err(p) = result {
+                            if p.is::<rt::AbortExecution>() {
+                                std::panic::resume_unwind(p);
+                            }
+                            rt2.record_panic(panic_message(&*p));
+                        }
+                    });
+                })
+                .expect("loomlite: root OS thread spawn failed");
+            let (recorded, outcome) = runtime.finish(root);
+            if let Err(v) = outcome {
+                return Err((v, executions));
+            }
+            // Depth-first advance: bump the deepest non-exhausted
+            // decision, dropping everything recorded below it.
+            path = recorded;
+            loop {
+                match path.last_mut() {
+                    None => return Ok(executions),
+                    Some(b) if b.chosen + 1 < b.total => {
+                        b.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Explores `f` under the default [`Builder`] bounds, panicking on the
+/// first schedule that deadlocks, panics, or livelocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}

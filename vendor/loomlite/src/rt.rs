@@ -1,0 +1,760 @@
+//! The execution runtime: serialized logical threads, a replayable
+//! decision tree explored depth-first with preemption bounding, and a
+//! store-visibility model of the C11 atomics orderings.
+//!
+//! Every logical thread runs on its own OS thread, but exactly one is
+//! ever unblocked: each synchronization operation first passes through a
+//! *scheduling point* where the runtime decides (exploring all choices
+//! across executions) which logical thread runs next. Because execution
+//! is serialized, the shared program state needs no synchronization of
+//! its own beyond the runtime's one mutex.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Atomic-object id → sequence number of the newest store to that object
+/// the thread is aware of through happens-before. A load must read a
+/// store at least that new ("visibility floor"); joining floor maps is
+/// how release→acquire edges propagate visibility.
+pub(crate) type FloorMap = BTreeMap<usize, u64>;
+
+/// Panic payload used to unwind logical threads when an execution is
+/// being torn down after a violation. Caught (and swallowed) by the
+/// thread wrapper; never observable by model code.
+pub(crate) struct AbortExecution;
+
+/// A property violation found during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// No logical thread is runnable but some are still blocked.
+    Deadlock(String),
+    /// An execution exceeded the per-execution step budget — a spin
+    /// loop that never reaches a blocking wait, or genuine livelock.
+    StepBudget(usize),
+    /// A logical thread panicked and the panic was never observed by a
+    /// `join` (or it was the root closure itself).
+    Panic(String),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Deadlock(s) => write!(f, "deadlock: {s}"),
+            Violation::StepBudget(n) => {
+                write!(
+                    f,
+                    "step budget exceeded ({n} steps): livelock or unbounded spin"
+                )
+            }
+            Violation::Panic(s) => write!(f, "thread panicked: {s}"),
+        }
+    }
+}
+
+/// One decision in the replayable schedule: which of `total` options was
+/// taken. The DFS driver bumps `chosen` on the deepest non-exhausted
+/// branch between executions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Branch {
+    pub chosen: usize,
+    pub total: usize,
+}
+
+/// Scheduling status of a logical thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    /// Visibility floors (see [`FloorMap`]).
+    floors: FloorMap,
+    name: Option<String>,
+}
+
+/// One store in an atomic object's modification order.
+#[derive(Debug, Clone)]
+pub(crate) struct StoreRec {
+    pub val: u64,
+    pub seq: u64,
+    /// `Some(floors)` when the store carries release semantics: an
+    /// acquire load reading it joins these floors.
+    pub sync: Option<FloorMap>,
+}
+
+#[derive(Debug)]
+struct AtomicState {
+    stores: Vec<StoreRec>,
+}
+
+#[derive(Debug)]
+struct MutexState {
+    locked_by: Option<usize>,
+    /// Floors published by the last unlock (lock = acquire them).
+    sync: FloorMap,
+    poisoned: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    Running,
+    Abort(Violation),
+}
+
+/// Exploration limits. `preemption_bound` is the CHESS-style cap on
+/// *involuntary* context switches per execution (switches at blocking
+/// points are free); within that bound exploration is exhaustive.
+#[derive(Debug, Clone)]
+pub(crate) struct Limits {
+    pub preemption_bound: Option<u32>,
+    pub max_steps: usize,
+}
+
+pub(crate) struct RtState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    condvars: usize,
+    store_seq: u64,
+    steps: usize,
+    preemptions: u32,
+    mode: Mode,
+    replay: Vec<Branch>,
+    cursor: usize,
+    limits: Limits,
+    live: usize,
+    /// OS handles of spawned (non-root) logical threads, joined by the
+    /// driver at execution end.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Panic messages not yet consumed by a `join`.
+    unobserved_panics: Vec<String>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime").finish_non_exhaustive()
+    }
+}
+
+/// The per-execution runtime shared by all logical threads.
+pub(crate) struct Runtime {
+    st: Mutex<RtState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Runtime>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the current logical-thread context, panicking (with a
+/// usable message) when called outside `model()`.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Runtime>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (rt, tid) = b
+            .as_ref()
+            .expect("loomlite primitives may only be used inside loomlite::model()");
+        f(rt, *tid)
+    })
+}
+
+fn set_current(ctx: Option<(Arc<Runtime>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Runtime {
+    pub(crate) fn new(limits: Limits, replay: Vec<Branch>) -> Arc<Runtime> {
+        Arc::new(Runtime {
+            st: Mutex::new(RtState {
+                threads: Vec::new(),
+                active: 0,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                store_seq: 0,
+                steps: 0,
+                preemptions: 0,
+                mode: Mode::Running,
+                replay,
+                cursor: 0,
+                limits,
+                live: 0,
+                os_handles: Vec::new(),
+                unobserved_panics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RtState> {
+        // The runtime's own mutex can only be poisoned by a bug in
+        // loomlite itself; continue so teardown still joins OS threads.
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Aborts the execution: records the violation, wakes every logical
+    /// thread (they unwind via [`AbortExecution`]), and unwinds the
+    /// caller too.
+    fn fail(&self, st: &mut RtState, v: Violation) -> ! {
+        if st.mode == Mode::Running {
+            st.mode = Mode::Abort(v);
+        }
+        self.cv.notify_all();
+        std::panic::panic_any(AbortExecution);
+    }
+
+    fn check_abort(&self, st: &RtState) {
+        if st.mode != Mode::Running && !std::thread::panicking() {
+            std::panic::panic_any(AbortExecution);
+        }
+    }
+
+    /// Takes (or records) the next decision among `total` options.
+    fn decide(&self, st: &mut RtState, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        if st.cursor < st.replay.len() {
+            let b = st.replay[st.cursor];
+            assert_eq!(
+                b.total, total,
+                "loomlite internal error: execution diverged from its replayed schedule"
+            );
+            st.cursor += 1;
+            b.chosen
+        } else {
+            st.replay.push(Branch { chosen: 0, total });
+            st.cursor += 1;
+            0
+        }
+    }
+
+    /// Blocks the calling OS thread until its logical thread is active
+    /// again (or the execution aborts).
+    fn wait_my_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, RtState>,
+        me: usize,
+    ) -> MutexGuard<'a, RtState> {
+        while st.active != me {
+            if st.mode != Mode::Running {
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        self.check_abort(&st);
+        st
+    }
+
+    fn runnable_except(st: &RtState, me: usize) -> Vec<usize> {
+        (0..st.threads.len())
+            .filter(|&t| t != me && st.threads[t].status == Status::Runnable)
+            .collect()
+    }
+
+    /// The scheduling point executed before every synchronization
+    /// operation: may transfer control to another runnable thread,
+    /// exploring all such transfers (up to the preemption bound) across
+    /// executions.
+    pub(crate) fn schedule(self: &Arc<Self>, me: usize) {
+        if std::thread::panicking() {
+            // Operations performed while unwinding (guard drops, poison
+            // flags) are applied without preemption: the unwinding
+            // thread runs to completion of the operation.
+            return;
+        }
+        let mut st = self.lock();
+        self.check_abort(&st);
+        st.steps += 1;
+        if st.steps > st.limits.max_steps {
+            let n = st.limits.max_steps;
+            self.fail(&mut st, Violation::StepBudget(n));
+        }
+        let others = Self::runnable_except(&st, me);
+        if others.is_empty() {
+            return;
+        }
+        let can_preempt = st
+            .limits
+            .preemption_bound
+            .is_none_or(|b| st.preemptions < b);
+        if !can_preempt {
+            return;
+        }
+        let idx = self.decide(&mut st, 1 + others.len());
+        if idx > 0 {
+            let next = others[idx - 1];
+            st.preemptions += 1;
+            st.active = next;
+            self.cv.notify_all();
+            let st = self.wait_my_turn(st, me);
+            drop(st);
+        }
+    }
+
+    /// Marks the calling logical thread blocked with `status`, hands
+    /// control to another runnable thread (detecting deadlock when none
+    /// exists), and returns once the thread is runnable *and* active
+    /// again.
+    fn block(self: &Arc<Self>, me: usize, status: Status) {
+        let mut st = self.lock();
+        self.check_abort(&st);
+        st.threads[me].status = status;
+        self.pick_other(&mut st, me);
+        let st = self.wait_my_turn(st, me);
+        // Whoever woke us set the status back to Runnable.
+        debug_assert_eq!(st.threads[me].status, Status::Runnable);
+        self.check_abort(&st);
+    }
+
+    /// Chooses the next thread to run when the current one cannot
+    /// continue (blocked or finished). A switch here is free: it is not
+    /// a preemption.
+    fn pick_other(self: &Arc<Self>, st: &mut RtState, me: usize) {
+        let runnable = Self::runnable_except(st, me);
+        if runnable.is_empty() {
+            if st.live == 0 || st.threads.iter().all(|t| t.status == Status::Finished) {
+                // Execution over; the driver is woken by thread exit.
+                return;
+            }
+            let summary = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| {
+                    format!(
+                        "{}[{i}]: {:?}",
+                        t.name.as_deref().unwrap_or("thread"),
+                        t.status
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.fail(st, Violation::Deadlock(summary));
+        }
+        let idx = self.decide(st, runnable.len());
+        st.active = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    // ---- thread management -------------------------------------------------
+
+    /// Registers the root logical thread (tid 0). Called by the driver
+    /// before the root OS thread starts.
+    pub(crate) fn register_root(&self) {
+        let mut st = self.lock();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            floors: FloorMap::new(),
+            name: Some("main".into()),
+        });
+        st.live = 1;
+        st.active = 0;
+    }
+
+    /// Registers a spawned logical thread, inheriting the creator's
+    /// visibility floors (spawn is a release→acquire edge), and returns
+    /// its tid. The caller then starts the OS thread and hands its
+    /// handle to [`Runtime::adopt_os_handle`].
+    pub(crate) fn register_thread(self: &Arc<Self>, creator: usize, name: Option<String>) -> usize {
+        self.schedule(creator);
+        let mut st = self.lock();
+        let floors = st.threads[creator].floors.clone();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            floors,
+            name,
+        });
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn adopt_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(h);
+    }
+
+    /// Body wrapper for every logical thread's OS thread: establishes
+    /// the thread-local context, waits to be scheduled, runs `body`,
+    /// and performs exit bookkeeping (waking joiners, recording
+    /// panics, electing a successor).
+    pub(crate) fn run_thread(self: &Arc<Self>, tid: usize, body: impl FnOnce()) {
+        set_current(Some((Arc::clone(self), tid)));
+        {
+            let st = self.lock();
+            let st = self.wait_my_turn(st, tid);
+            drop(st);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        set_current(None);
+        let mut st = self.lock();
+        if let Err(p) = result {
+            if !p.is::<AbortExecution>() {
+                st.unobserved_panics.push(crate::panic_message(&*p));
+            }
+        }
+        st.threads[tid].status = Status::Finished;
+        st.live -= 1;
+        // Joiners become runnable and acquire our floors when they
+        // complete the join operation.
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(tid) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        if st.live > 0 && st.mode == Mode::Running {
+            // Like fail()/pick_other but must not unwind: we are
+            // already exiting.
+            let runnable = Self::runnable_except(&st, tid);
+            if runnable.is_empty() {
+                let msg = "all remaining threads blocked after a thread exit".to_string();
+                st.mode = Mode::Abort(Violation::Deadlock(msg));
+            } else {
+                let idx = self.decide(&mut st, runnable.len());
+                st.active = runnable[idx];
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits (on the driver thread) for every logical thread to finish,
+    /// then joins the OS threads and reports the outcome plus the
+    /// recorded decision path.
+    pub(crate) fn finish(
+        self: &Arc<Self>,
+        root_handle: std::thread::JoinHandle<()>,
+    ) -> (Vec<Branch>, Result<(), Violation>) {
+        let mut st = self.lock();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = root_handle.join();
+        let st = self.lock();
+        let outcome = match &st.mode {
+            Mode::Abort(v) => Err(v.clone()),
+            Mode::Running => match st.unobserved_panics.first() {
+                Some(m) => Err(Violation::Panic(m.clone())),
+                None => Ok(()),
+            },
+        };
+        (st.replay.clone(), outcome)
+    }
+
+    /// `join` side of thread exit: blocks until `target` finishes, then
+    /// acquires its floors. The caller consumes the panic result (if
+    /// any) from its typed slot, so the panic counts as observed.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            self.schedule(me);
+            let mut st = self.lock();
+            self.check_abort(&st);
+            if st.threads[target].status == Status::Finished {
+                let floors = st.threads[target].floors.clone();
+                join_floors(&mut st.threads[me].floors, &floors);
+                return;
+            }
+            drop(st);
+            self.block(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Records a panic message from a logical thread; unless observed
+    /// by a `join`, it fails the execution.
+    pub(crate) fn record_panic(&self, msg: String) {
+        self.lock().unobserved_panics.push(msg);
+    }
+
+    /// Marks one recorded panic as observed by a join (its message is
+    /// no longer grounds for failing the execution).
+    pub(crate) fn observe_panic(&self, msg: &str) {
+        let mut st = self.lock();
+        if let Some(i) = st.unobserved_panics.iter().position(|m| m == msg) {
+            st.unobserved_panics.remove(i);
+        }
+    }
+
+    /// Voluntary yield / spin-loop hint. Unlike a plain scheduling
+    /// point, a yield *forces* a switch to another runnable thread when
+    /// one exists (loom's semantics): the yielding thread has declared
+    /// it cannot progress, so re-scheduling it immediately would only
+    /// generate unbounded self-spin schedules.
+    pub(crate) fn yield_now(self: &Arc<Self>, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.lock();
+        self.check_abort(&st);
+        st.steps += 1;
+        if st.steps > st.limits.max_steps {
+            let n = st.limits.max_steps;
+            self.fail(&mut st, Violation::StepBudget(n));
+        }
+        let others = Self::runnable_except(&st, me);
+        if others.is_empty() {
+            return;
+        }
+        let idx = self.decide(&mut st, others.len());
+        st.active = others[idx];
+        self.cv.notify_all();
+        let st = self.wait_my_turn(st, me);
+        drop(st);
+    }
+
+    // ---- atomics -----------------------------------------------------------
+
+    pub(crate) fn new_atomic(&self, init: u64) -> usize {
+        let mut st = self.lock();
+        st.store_seq += 1;
+        let seq = st.store_seq;
+        let id = st.atomics.len();
+        st.atomics.push(AtomicState {
+            stores: vec![StoreRec {
+                val: init,
+                seq,
+                sync: None,
+            }],
+        });
+        id
+    }
+
+    /// An atomic load: which store it reads is itself an explored
+    /// decision for `Relaxed`/`Acquire` (any store at or above the
+    /// thread's visibility floor); `SeqCst` loads read the newest store
+    /// (the one total-order approximation loomlite makes — see the
+    /// crate docs).
+    pub(crate) fn atomic_load(self: &Arc<Self>, me: usize, id: usize, ord: Ordering) -> u64 {
+        use std::sync::atomic::Ordering as O;
+        if std::thread::panicking() {
+            let st = self.lock();
+            return st.atomics[id].stores.last().map_or(0, |s| s.val);
+        }
+        self.schedule(me);
+        let mut st = self.lock();
+        self.check_abort(&st);
+        let floor = st.threads[me].floors.get(&id).copied().unwrap_or(0);
+        let mut readable: Vec<StoreRec> = st.atomics[id]
+            .stores
+            .iter()
+            .filter(|s| s.seq >= floor)
+            .cloned()
+            .collect();
+        readable.sort_by_key(|s| std::cmp::Reverse(s.seq));
+        let chosen = if matches!(ord, O::SeqCst) {
+            readable[0].clone()
+        } else {
+            // Collapse stores with identical observable outcome so the
+            // decision tree only branches on distinguishable reads.
+            let mut distinct: Vec<StoreRec> = Vec::new();
+            for s in readable {
+                if !distinct.iter().any(|d| d.val == s.val && d.sync == s.sync) {
+                    distinct.push(s);
+                }
+            }
+            let idx = self.decide(&mut st, distinct.len());
+            distinct[idx].clone()
+        };
+        let acquire = matches!(ord, O::Acquire | O::AcqRel | O::SeqCst);
+        apply_read(&mut st.threads[me].floors, id, &chosen, acquire);
+        chosen.val
+    }
+
+    pub(crate) fn atomic_store(self: &Arc<Self>, me: usize, id: usize, val: u64, ord: Ordering) {
+        use std::sync::atomic::Ordering as O;
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+        let mut st = self.lock();
+        self.check_abort(&st);
+        st.store_seq += 1;
+        let seq = st.store_seq;
+        st.threads[me].floors.insert(id, seq);
+        let sync = matches!(ord, O::Release | O::AcqRel | O::SeqCst)
+            .then(|| st.threads[me].floors.clone());
+        st.atomics[id].stores.push(StoreRec { val, seq, sync });
+    }
+
+    /// A read-modify-write: always reads the newest store (C11: RMWs
+    /// read the last value in modification order), writes `f(old)`.
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Self>,
+        me: usize,
+        id: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        use std::sync::atomic::Ordering as O;
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+        let mut st = self.lock();
+        self.check_abort(&st);
+        let last = st.atomics[id]
+            .stores
+            .last()
+            .cloned()
+            .expect("atomic has an initial store");
+        let acquire = matches!(ord, O::Acquire | O::AcqRel | O::SeqCst);
+        apply_read(&mut st.threads[me].floors, id, &last, acquire);
+        st.store_seq += 1;
+        let seq = st.store_seq;
+        st.threads[me].floors.insert(id, seq);
+        let sync = matches!(ord, O::Release | O::AcqRel | O::SeqCst)
+            .then(|| st.threads[me].floors.clone());
+        st.atomics[id].stores.push(StoreRec {
+            val: f(last.val),
+            seq,
+            sync,
+        });
+        last.val
+    }
+
+    // ---- mutexes -----------------------------------------------------------
+
+    pub(crate) fn new_mutex(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexState {
+            locked_by: None,
+            sync: FloorMap::new(),
+            poisoned: false,
+        });
+        id
+    }
+
+    /// Model-level lock acquisition; returns `true` if the mutex is
+    /// poisoned (a thread panicked while holding it).
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: usize, id: usize) -> bool {
+        loop {
+            self.schedule(me);
+            let mut st = self.lock();
+            self.check_abort(&st);
+            if st.mutexes[id].locked_by.is_none() {
+                st.mutexes[id].locked_by = Some(me);
+                let sync = st.mutexes[id].sync.clone();
+                join_floors(&mut st.threads[me].floors, &sync);
+                return st.mutexes[id].poisoned;
+            }
+            drop(st);
+            self.block(me, Status::BlockedMutex(id));
+        }
+    }
+
+    /// Model-level unlock: publishes the holder's floors into the mutex
+    /// (unlock is a release), poisons it when unlocking during a panic,
+    /// and wakes lock waiters.
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: usize, id: usize) {
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+        let mut st = self.lock();
+        st.mutexes[id].locked_by = None;
+        if std::thread::panicking() {
+            st.mutexes[id].poisoned = true;
+        }
+        let floors = st.threads[me].floors.clone();
+        st.mutexes[id].sync = floors;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(id) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    // ---- condvars ----------------------------------------------------------
+
+    pub(crate) fn new_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars += 1;
+        st.condvars - 1
+    }
+
+    /// The blocking half of `Condvar::wait`, entered *after* the caller
+    /// has dropped the inner guard: atomically releases the model mutex
+    /// and blocks until notified. The caller re-locks afterwards.
+    pub(crate) fn condvar_wait(self: &Arc<Self>, me: usize, cv: usize, mutex: usize) {
+        {
+            let mut st = self.lock();
+            self.check_abort(&st);
+            st.mutexes[mutex].locked_by = None;
+            let floors = st.threads[me].floors.clone();
+            st.mutexes[mutex].sync = floors;
+            for t in 0..st.threads.len() {
+                if st.threads[t].status == Status::BlockedMutex(mutex) {
+                    st.threads[t].status = Status::Runnable;
+                }
+            }
+        }
+        self.block(me, Status::BlockedCondvar(cv));
+    }
+
+    /// Wakes every waiter of `cv`. Loomlite does not model spurious
+    /// wakeups: absence of a wakeup is what the deadlock detector
+    /// checks, and the modeled code may not *rely* on spurious wakeups
+    /// anyway.
+    pub(crate) fn condvar_notify_all(self: &Arc<Self>, me: usize, cv: usize) {
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+        let mut st = self.lock();
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedCondvar(cv) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes one waiter of `cv` — which one is an explored decision.
+    pub(crate) fn condvar_notify_one(self: &Arc<Self>, me: usize, cv: usize) {
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+        let mut st = self.lock();
+        let waiters: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::BlockedCondvar(cv))
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let idx = self.decide(&mut st, waiters.len());
+        st.threads[waiters[idx]].status = Status::Runnable;
+    }
+}
+
+/// Coherence + acquire bookkeeping after reading `store` of atomic `id`.
+fn apply_read(floors: &mut FloorMap, id: usize, store: &StoreRec, acquire: bool) {
+    if acquire {
+        if let Some(sync) = &store.sync {
+            join_floors(floors, sync);
+        }
+    }
+    let f = floors.entry(id).or_insert(0);
+    if store.seq > *f {
+        *f = store.seq;
+    }
+}
+
+fn join_floors(into: &mut FloorMap, from: &FloorMap) {
+    for (&k, &v) in from {
+        let e = into.entry(k).or_insert(0);
+        if v > *e {
+            *e = v;
+        }
+    }
+}
+
+use std::sync::atomic::Ordering;

@@ -1,0 +1,283 @@
+//! Modeled `std::sync` subset: [`atomic`], [`Mutex`], [`Condvar`].
+//!
+//! `Arc` is re-exported from `std` unchanged: reference counting has no
+//! interleaving-visible behavior worth modeling here.
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+use std::fmt;
+
+use crate::rt::{self, Runtime};
+
+/// Modeled atomics. `Ordering` is `std`'s own enum, so call sites are
+/// source-identical with `std::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    /// Shared state of one modeled atomic cell (all widths are modeled
+    /// as `u64`).
+    struct Cell {
+        id: usize,
+        rt: Arc<Runtime>,
+    }
+
+    impl Cell {
+        fn new(init: u64) -> Cell {
+            rt::with_current(|rt, _| Cell {
+                id: rt.new_atomic(init),
+                rt: Arc::clone(rt),
+            })
+        }
+
+        fn load(&self, ord: Ordering) -> u64 {
+            rt::with_current(|_, tid| self.rt.atomic_load(tid, self.id, ord))
+        }
+
+        fn store(&self, val: u64, ord: Ordering) {
+            rt::with_current(|_, tid| self.rt.atomic_store(tid, self.id, val, ord));
+        }
+
+        fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+            rt::with_current(|_, tid| self.rt.atomic_rmw(tid, self.id, ord, f))
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty, $doc:literal) => {
+            #[doc = $doc]
+            pub struct $name(Cell);
+
+            impl $name {
+                /// Creates the atomic with an initial value. Must be
+                /// called inside [`crate::model`].
+                pub fn new(v: $ty) -> $name {
+                    $name(Cell::new(v as u64))
+                }
+
+                /// Atomic load under the modeled memory order.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    self.0.load(ord) as $ty
+                }
+
+                /// Atomic store under the modeled memory order.
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    self.0.store(v as u64, ord)
+                }
+
+                /// Atomic add; returns the previous value.
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.0.rmw(ord, |old| (old as $ty).wrapping_add(v) as u64) as $ty
+                }
+
+                /// Atomic subtract; returns the previous value.
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.0.rmw(ord, |old| (old as $ty).wrapping_sub(v) as u64) as $ty
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.0.rmw(ord, |_| v as u64) as $ty
+                }
+            }
+
+            impl fmt::Debug for $name {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.debug_tuple(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, u64, "Modeled `std::sync::atomic::AtomicU64`.");
+    int_atomic!(
+        AtomicUsize,
+        usize,
+        "Modeled `std::sync::atomic::AtomicUsize`."
+    );
+    int_atomic!(AtomicU32, u32, "Modeled `std::sync::atomic::AtomicU32`.");
+
+    /// Modeled `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool(Cell);
+
+    impl AtomicBool {
+        /// Creates the atomic with an initial value. Must be called
+        /// inside [`crate::model`].
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool(Cell::new(v as u64))
+        }
+
+        /// Atomic load under the modeled memory order.
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.0.load(ord) != 0
+        }
+
+        /// Atomic store under the modeled memory order.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            self.0.store(v as u64, ord)
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            self.0.rmw(ord, |_| v as u64) != 0
+        }
+    }
+
+    impl fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("AtomicBool").finish_non_exhaustive()
+        }
+    }
+}
+
+/// A modeled mutex. Data lives in an inner `std` mutex (which is never
+/// contended — execution is serialized), while blocking, poisoning and
+/// release→acquire visibility are modeled by the runtime.
+pub struct Mutex<T> {
+    id: usize,
+    rt: Arc<Runtime>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex. Must be called inside [`crate::model`].
+    pub fn new(t: T) -> Mutex<T> {
+        rt::with_current(|rt, _| Mutex {
+            id: rt.new_mutex(),
+            rt: Arc::clone(rt),
+            inner: std::sync::Mutex::new(t),
+        })
+    }
+
+    /// Acquires the mutex, blocking the logical thread (the scheduler
+    /// explores who runs meanwhile). Returns `Err` if a thread panicked
+    /// while holding it, like `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let me = rt::with_current(|_, tid| tid);
+        let poisoned = self.rt.mutex_lock(me, self.id);
+        // The inner mutex may carry std-level poison from a panicked
+        // logical thread; the model-level `poisoned` flag is the source
+        // of truth, so recover the guard either way.
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                unreachable!("loomlite: inner mutex contended despite model serialization")
+            }
+        };
+        let guard = MutexGuard {
+            inner: Some(inner),
+            mutex: self,
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard for a modeled [`Mutex`]; releasing it is a modeled release
+/// operation.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still armed")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still armed")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let me = rt::with_current(|_, tid| tid);
+            // Inner guard first: the model unlock makes the data
+            // reachable by other logical threads at the next scheduling
+            // point, but they cannot run before this thread reaches one.
+            drop(inner);
+            self.mutex.rt.mutex_unlock(me, self.mutex.id);
+        }
+    }
+}
+
+/// A modeled condition variable. No spurious wakeups are modeled (code
+/// must not *rely* on them, and their absence is the conservative
+/// direction for lost-wakeup detection).
+pub struct Condvar {
+    id: usize,
+    rt: Arc<Runtime>,
+}
+
+impl Condvar {
+    /// Creates the condvar. Must be called inside [`crate::model`].
+    pub fn new() -> Condvar {
+        rt::with_current(|rt, _| Condvar {
+            id: rt.new_condvar(),
+            rt: Arc::clone(rt),
+        })
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified,
+    /// then reacquires the mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let me = rt::with_current(|_, tid| tid);
+        let mutex = guard.mutex;
+        // Disarm the guard (its Drop becomes a no-op): the model-level
+        // unlock happens atomically with registering as a waiter,
+        // inside condvar_wait.
+        drop(guard.inner.take().expect("guard still armed"));
+        drop(guard);
+        self.rt.condvar_wait(me, self.id, mutex.id);
+        mutex.lock()
+    }
+
+    /// Wakes all current waiters.
+    pub fn notify_all(&self) {
+        let me = rt::with_current(|_, tid| tid);
+        self.rt.condvar_notify_all(me, self.id);
+    }
+
+    /// Wakes one current waiter (which one is an explored decision).
+    pub fn notify_one(&self) {
+        let me = rt::with_current(|_, tid| tid);
+        self.rt.condvar_notify_one(me, self.id);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").field("id", &self.id).finish()
+    }
+}

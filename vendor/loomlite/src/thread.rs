@@ -1,0 +1,143 @@
+//! Modeled `std::thread` subset: [`spawn`], [`Builder`],
+//! [`JoinHandle`], [`yield_now`], [`available_parallelism`] and
+//! [`panicking`].
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, Runtime};
+
+/// Result slot shared between a logical thread's body and its
+/// [`JoinHandle`]. Plain `std` mutex: execution is serialized, so there
+/// is never contention, and the slot must work even while the model
+/// runtime is tearing an execution down.
+type Slot<T> = Arc<Mutex<Option<Result<T, String>>>>;
+
+/// A handle to join a modeled thread, mirroring
+/// `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    rt: Arc<Runtime>,
+    slot: Slot<T>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. A panic in
+    /// the thread surfaces as `Err` (with the panic message as payload)
+    /// and counts as *observed* — it no longer fails the execution.
+    pub fn join(self) -> std::thread::Result<T> {
+        let me = rt::with_current(|_, tid| tid);
+        self.rt.join_thread(me, self.tid);
+        let result = self
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loomlite: thread result already taken");
+        match result {
+            Ok(v) => Ok(v),
+            Err(msg) => {
+                self.rt.observe_panic(&msg);
+                Err(Box::new(msg))
+            }
+        }
+    }
+}
+
+/// Spawns a modeled thread running `f`, like `std::thread::spawn`.
+///
+/// The closure runs on a real OS thread, but only when the model
+/// scheduler makes it the single active logical thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("loomlite spawn cannot fail")
+}
+
+/// Modeled `std::thread::Builder` (the name is kept for diagnostics;
+/// stack size is ignored).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder with no name set.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names the thread (used in deadlock reports).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread. Never actually fails; the `io::Result` mirrors
+    /// the `std` signature.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (rt, me) = rt::with_current(|rt, tid| (Arc::clone(rt), tid));
+        let tid = rt.register_thread(me, self.name);
+        let slot: Slot<T> = Arc::new(Mutex::new(None));
+        let body_slot = Arc::clone(&slot);
+        let body_rt = Arc::clone(&rt);
+        let os = std::thread::Builder::new()
+            .spawn(move || {
+                let rt2 = Arc::clone(&body_rt);
+                body_rt.run_thread(tid, move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    match result {
+                        Ok(v) => {
+                            *body_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                        }
+                        Err(p) => {
+                            if p.is::<rt::AbortExecution>() {
+                                std::panic::resume_unwind(p);
+                            }
+                            let msg = crate::panic_message(&*p);
+                            *body_slot.lock().unwrap_or_else(|e| e.into_inner()) =
+                                Some(Err(msg.clone()));
+                            rt2.record_panic(msg);
+                        }
+                    }
+                });
+            })
+            .expect("loomlite: OS thread spawn failed");
+        rt.adopt_os_handle(os);
+        Ok(JoinHandle { tid, rt, slot })
+    }
+}
+
+/// Forces a scheduling switch to another runnable thread when one
+/// exists (loom's `yield_now` semantics).
+pub fn yield_now() {
+    rt::with_current(|rt, tid| rt.yield_now(tid));
+}
+
+/// Always reports a single hardware thread under the model: modeled
+/// code should take its no-spin (blocking) paths, which is exactly what
+/// bounded exploration can verify.
+pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+    Ok(NonZeroUsize::new(1).expect("1 is non-zero"))
+}
+
+/// Whether the current OS thread is unwinding — `std`'s, re-exported so
+/// facade users need no second import path.
+pub fn panicking() -> bool {
+    std::thread::panicking()
+}

@@ -1,0 +1,278 @@
+//! Self-tests of the model checker: known-correct protocols must pass,
+//! known-broken ones must be caught. These run under plain `cargo
+//! test` (loomlite needs no cfg of its own — only the facade routing
+//! does).
+
+use loomlite::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loomlite::sync::{Arc, Condvar, Mutex};
+use loomlite::{thread, Builder, Violation};
+
+fn bounded(bound: u32) -> Builder {
+    Builder::new().preemption_bound(Some(bound))
+}
+
+// ---- basic scheduling ------------------------------------------------------
+
+#[test]
+fn sequential_closure_runs_once_per_schedule() {
+    let n = loomlite::Builder::default().check(|| {
+        let a = AtomicU64::new(1);
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+    });
+    assert_eq!(n, 1, "a single-threaded closure has exactly one schedule");
+}
+
+#[test]
+fn spawn_join_passes_values_and_visibility() {
+    loomlite::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            b.store(7, Ordering::Relaxed);
+            42u64
+        });
+        assert_eq!(t.join().unwrap(), 42);
+        // join is an acquire edge: the relaxed store must be visible.
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+    });
+}
+
+#[test]
+fn racing_increments_never_lose_updates() {
+    loomlite::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            b.fetch_add(1, Ordering::Relaxed);
+        });
+        a.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        // RMWs read the newest store: both increments always land.
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn plain_store_race_can_lose_an_update() {
+    // The dual of the RMW test: two racing `store(load+1)` sequences DO
+    // lose an update under some schedule — the checker must find it.
+    let v = bounded(2).check_violation(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            let x = b.load(Ordering::SeqCst);
+            b.store(x + 1, Ordering::SeqCst);
+        });
+        let x = a.load(Ordering::SeqCst);
+        a.store(x + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(
+        matches!(v, Some(Violation::Panic(ref m)) if m.contains("lost update")),
+        "expected the lost-update assert to fire, got {v:?}"
+    );
+}
+
+// ---- memory-ordering discrimination ---------------------------------------
+
+/// Message passing: data published with `Release`, flag read with
+/// `Acquire` — correct, must pass.
+#[test]
+fn release_acquire_message_passing_is_correct() {
+    bounded(3).check(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(99, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 99, "stale data");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// The same protocol with a `Relaxed` flag is broken: the reader can
+/// see the flag without the data. The checker must find the stale read.
+#[test]
+fn relaxed_message_passing_is_caught() {
+    let v = bounded(3).check_violation(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(99, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 99, "stale data");
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        matches!(v, Some(Violation::Panic(ref m)) if m.contains("stale data")),
+        "expected a stale read, got {v:?}"
+    );
+}
+
+/// Dekker store→load: with SeqCst on both sides, at least one thread
+/// must see the other's store — correct, must pass.
+#[test]
+fn seqcst_dekker_is_correct() {
+    bounded(3).check(|| {
+        let x = Arc::new(AtomicBool::new(false));
+        let y = Arc::new(AtomicBool::new(false));
+        let saw_x = Arc::new(AtomicBool::new(false));
+        let (x2, y2, s2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&saw_x));
+        let t = thread::spawn(move || {
+            y2.store(true, Ordering::SeqCst);
+            s2.store(x2.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        x.store(true, Ordering::SeqCst);
+        let saw_y = y.load(Ordering::SeqCst);
+        t.join().unwrap();
+        assert!(
+            saw_y || saw_x.load(Ordering::SeqCst),
+            "both Dekker sides read stale"
+        );
+    });
+}
+
+/// The same pattern downgraded to Release stores + Acquire loads allows
+/// both threads to read stale (store→load reordering) — must be caught.
+#[test]
+fn release_acquire_dekker_is_caught() {
+    let v = bounded(3).check_violation(|| {
+        let x = Arc::new(AtomicBool::new(false));
+        let y = Arc::new(AtomicBool::new(false));
+        let saw_x = Arc::new(AtomicBool::new(false));
+        let (x2, y2, s2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&saw_x));
+        let t = thread::spawn(move || {
+            y2.store(true, Ordering::Release);
+            s2.store(x2.load(Ordering::Acquire), Ordering::SeqCst);
+        });
+        x.store(true, Ordering::Release);
+        let saw_y = y.load(Ordering::Acquire);
+        t.join().unwrap();
+        assert!(
+            saw_y || saw_x.load(Ordering::SeqCst),
+            "both Dekker sides read stale"
+        );
+    });
+    assert!(
+        matches!(v, Some(Violation::Panic(ref m)) if m.contains("both Dekker sides")),
+        "expected the Dekker assert to fire, got {v:?}"
+    );
+}
+
+// ---- mutex + condvar -------------------------------------------------------
+
+#[test]
+fn mutex_serializes_critical_sections() {
+    loomlite::model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().expect("not poisoned");
+            *g += 1;
+        });
+        {
+            let mut g = m.lock().expect("not poisoned");
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().expect("not poisoned"), 2);
+    });
+}
+
+#[test]
+fn mutex_poisoning_propagates() {
+    loomlite::model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let _g = m2.lock().expect("not poisoned");
+            panic!("die holding the lock");
+        });
+        assert!(t.join().is_err(), "the thread must report its panic");
+        assert!(
+            m.lock().is_err(),
+            "a panic while holding the lock must poison it"
+        );
+    });
+}
+
+/// The classic correct park/wake protocol: flag under the mutex,
+/// re-checked in a wait loop — must pass (no deadlock in any schedule).
+#[test]
+fn condvar_flag_protocol_is_correct() {
+    bounded(3).check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock().expect("not poisoned");
+            *g = true;
+            cv.notify_all();
+            drop(g);
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock().expect("not poisoned");
+        while !*g {
+            g = cv.wait(g).expect("not poisoned");
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+}
+
+/// A lost wakeup: the waiter checks the flag *before* taking the mutex,
+/// so the notify can land between check and wait. The deadlock detector
+/// must catch the schedule where the waiter parks forever.
+#[test]
+fn lost_wakeup_is_caught_as_deadlock() {
+    let v = bounded(3).check_violation(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let (f2, p2) = (Arc::clone(&flag), Arc::clone(&pair));
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            f2.store(true, Ordering::SeqCst);
+            let _g = m.lock().expect("not poisoned");
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        if !flag.load(Ordering::SeqCst) {
+            // BUG: flag may flip here, before we are on the condvar.
+            let g = m.lock().expect("not poisoned");
+            let _g = cv.wait(g).expect("not poisoned");
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        matches!(v, Some(Violation::Deadlock(_))),
+        "expected a deadlock (lost wakeup), got {v:?}"
+    );
+}
+
+// ---- exhaustion sanity -----------------------------------------------------
+
+#[test]
+fn exploration_visits_multiple_schedules() {
+    let n = bounded(2).check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            b.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(2, Ordering::SeqCst);
+        t.join().unwrap();
+    });
+    assert!(
+        n > 1,
+        "two racing threads must yield several schedules, got {n}"
+    );
+}

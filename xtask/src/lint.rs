@@ -1,0 +1,651 @@
+//! The repo-specific lint rules behind `cargo xtask lint`.
+//!
+//! Each rule is a pure function over `(path, source)` returning the
+//! violations it found, so every rule is unit-tested both ways: clean
+//! input passes, seeded violations are reported (the acceptance
+//! criterion that the linter demonstrably *fails* when it should).
+//!
+//! | rule            | scope                               | requirement |
+//! |-----------------|-------------------------------------|-------------|
+//! | `crate-attrs`   | first-party crate roots             | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
+//! | `sync-facade`   | `crates/engine/src` (non-test)      | no direct `std::sync`/`std::thread`/`std::hint` — use `flowlut_core::sync` |
+//! | `ordering-doc`  | `crates/*/src` (non-test)           | every `Ordering::` site has an adjacent `// ordering:` justification |
+//! | `no-panic`      | engine/core/cam/hash src (non-test) | no `.unwrap()`/`.expect(`/`panic!(` outside `xtask/lint_allow.txt` |
+//! | `bench-schema`  | committed `BENCH_*.json`            | parses as JSON and keeps its schema keys |
+//!
+//! The vendored shims under `vendor/` (ports of external crates) are
+//! exempt from `crate-attrs` — except `vendor/loomlite`, which is
+//! first-party.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line (0 for file-level violations).
+    pub line: usize,
+    /// Rule identifier (the table in the module docs).
+    pub rule: &'static str,
+    /// What is wrong and how to fix it.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+fn violation(file: &str, line: usize, rule: &'static str, msg: String) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        msg,
+    }
+}
+
+/// Yields `(1-based line number, line)` for the lines of `src` outside
+/// `#[cfg(test)]` items. An inline `#[cfg(test)] mod … { … }` is skipped
+/// by brace tracking; a path module declaration (`#[cfg(test)] mod t;`)
+/// only skips the declaration itself (the module *file* must be excluded
+/// by the caller's file scoping — see [`is_test_file`]).
+pub fn non_test_lines(src: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut skipping = false;
+    let mut opened = false;
+    let mut depth = 0i64;
+    for (i, line) in src.lines().enumerate() {
+        if !skipping && line.trim_start().starts_with("#[cfg(test)]") {
+            skipping = true;
+            opened = false;
+            depth = 0;
+            continue;
+        }
+        if skipping {
+            let opens = line.matches('{').count() as i64;
+            let closes = line.matches('}').count() as i64;
+            depth += opens - closes;
+            if opens > 0 {
+                opened = true;
+            }
+            if opened && depth <= 0 {
+                skipping = false;
+            } else if !opened && line.trim_end().ends_with(';') {
+                // `#[cfg(test)] mod tests;` — only the declaration is
+                // gated; resume on the next line.
+                skipping = false;
+            }
+            continue;
+        }
+        out.push((i + 1, line));
+    }
+    out
+}
+
+/// Whether `path` (repo-relative, `/`-separated) is test code by
+/// location: an integration-test tree, a bench tree, or a path-based
+/// unit-test module (`…/tests.rs`).
+pub fn is_test_file(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/") || path.ends_with("/tests.rs")
+}
+
+/// `crate-attrs`: a first-party crate root must forbid unsafe code and
+/// deny missing docs.
+pub fn check_crate_attrs(path: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !src.lines().any(|l| l.trim() == attr) {
+            out.push(violation(
+                path,
+                0,
+                "crate-attrs",
+                format!("crate root is missing `{attr}`"),
+            ));
+        }
+    }
+    out
+}
+
+/// `sync-facade`: engine sources must reach every synchronization
+/// primitive through `flowlut_core::sync`, never `std` directly —
+/// otherwise the model suite silently stops covering that primitive.
+pub fn check_sync_facade(path: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (n, line) in non_test_lines(src) {
+        let code = strip_line_comment(line);
+        for token in ["std::sync", "std::thread", "std::hint"] {
+            if code.contains(token) {
+                out.push(violation(
+                    path,
+                    n,
+                    "sync-facade",
+                    format!("direct `{token}` use — import it from `flowlut_core::sync` so the model checker sees it"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `ordering-doc`: every atomic-ordering choice must carry a nearby
+/// `// ordering:` justification (same line or the 4 lines above), so a
+/// reviewer — and the next refactor — can tell load-bearing SeqCst from
+/// incidental.
+pub fn check_ordering_comments(path: &str, src: &str) -> Vec<Violation> {
+    const WINDOW: usize = 4;
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (n, line) in non_test_lines(src) {
+        let code = strip_line_comment(line);
+        let Some(pos) = code.find("Ordering::") else {
+            continue;
+        };
+        // Imports and `cmp::Ordering` matches are not atomic sites.
+        if code.trim_start().starts_with("use ") || code[..pos].ends_with("cmp::") {
+            continue;
+        }
+        let documented = line.contains("// ordering:")
+            || lines[n.saturating_sub(1 + WINDOW)..n - 1]
+                .iter()
+                .any(|l| l.trim_start().starts_with("// ordering:"));
+        if !documented {
+            out.push(violation(
+                path,
+                n,
+                "ordering-doc",
+                "atomic `Ordering::` site without an adjacent `// ordering:` justification"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `no-panic`: hot-path modules must not unwrap/expect/panic except at
+/// sites vetted in the allowlist (`xtask/lint_allow.txt`, entries of the
+/// form `path :: line-substring`).
+pub fn check_no_panic(path: &str, src: &str, allowlist: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (n, line) in non_test_lines(src) {
+        let code = strip_line_comment(line);
+        for token in [".unwrap()", ".expect(", "panic!("] {
+            if !code.contains(token) {
+                continue;
+            }
+            let allowed = allowlist
+                .iter()
+                .any(|(p, frag)| path.ends_with(p.as_str()) && line.contains(frag.as_str()));
+            if !allowed {
+                out.push(violation(
+                    path,
+                    n,
+                    "no-panic",
+                    format!(
+                        "`{token}` in a hot-path module — return an error, or vet the invariant in xtask/lint_allow.txt"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the allowlist format: one `path :: substring` entry per line;
+/// blank lines and `#` comments ignored.
+pub fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (p, frag) = l.split_once(" :: ")?;
+            Some((p.trim().to_string(), frag.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Drops a trailing `// …` comment (good enough for this codebase: no
+/// string literal here contains `//`).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+// ---------------------------------------------------------------------
+// bench-schema: a minimal JSON reader + schema-key checks
+// ---------------------------------------------------------------------
+
+/// Minimal JSON value for schema validation (no number parsing beyond
+/// syntax — the perf gates in CI do the numeric checks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, kept as its source text.
+    Num(String),
+    /// A string literal (unescaped content not interpreted).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as a single JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {} (found {:?})",
+            want as char,
+            *pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&c| c as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || b"+-.eE".contains(&b[*pos])) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if text.parse::<f64>().is_err() {
+        return Err(format!("bad number `{text}` at byte {start}"));
+    }
+    Ok(Json::Num(text.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let start = *pos;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `]` at byte {} (found {:?})",
+                    *pos,
+                    other.map(|&c| c as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect_byte(b, pos, b':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `}}` at byte {} (found {:?})",
+                    *pos,
+                    other.map(|&c| c as char)
+                ))
+            }
+        }
+    }
+}
+
+/// Schema keys every committed perf snapshot must keep, per bench name
+/// (the CI perf gates and `scripts/` tooling read them by key).
+fn required_keys(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "engine" => &[
+            "bench",
+            "mode",
+            "workload",
+            "per_shard_input_rate_mhz",
+            "single_channel_mdesc_per_s",
+            "results",
+            "acceptance_4_shards_ge_2x",
+        ],
+        "parallel" => &[
+            "bench",
+            "mode",
+            "host_parallelism",
+            "workload",
+            "results",
+            "acceptance_applicable",
+            "acceptance_threaded_4_shards_ge_1p5x",
+        ],
+        _ => &["bench", "mode", "results"],
+    }
+}
+
+/// `bench-schema`: `path` must parse as JSON and keep the schema keys
+/// for its `bench` kind; every `results` row must identify its shard
+/// count and completion total.
+pub fn check_bench_schema(path: &str, text: &str) -> Vec<Violation> {
+    let doc = match parse_json(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![violation(path, 0, "bench-schema", format!("not JSON: {e}"))],
+    };
+    let mut out = Vec::new();
+    let bench = match doc.get("bench") {
+        Some(Json::Str(b)) => b.clone(),
+        _ => {
+            out.push(violation(
+                path,
+                0,
+                "bench-schema",
+                "missing string key `bench`".to_string(),
+            ));
+            String::new()
+        }
+    };
+    for key in required_keys(&bench) {
+        if doc.get(key).is_none() {
+            out.push(violation(
+                path,
+                0,
+                "bench-schema",
+                format!("missing schema key `{key}`"),
+            ));
+        }
+    }
+    match doc.get("results") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => {
+            for (i, row) in rows.iter().enumerate() {
+                for key in ["shards", "completed"] {
+                    if row.get(key).is_none() {
+                        out.push(violation(
+                            path,
+                            0,
+                            "bench-schema",
+                            format!("results[{i}] is missing key `{key}`"),
+                        ));
+                    }
+                }
+            }
+        }
+        Some(_) | None => out.push(violation(
+            path,
+            0,
+            "bench-schema",
+            "`results` must be a non-empty array".to_string(),
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- the linter must pass on clean input --
+
+    #[test]
+    fn clean_crate_root_passes() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert_eq!(check_crate_attrs("crates/x/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn facade_imports_pass() {
+        let src = "use flowlut_core::sync::{Arc, Mutex};\nfn f() {}\n";
+        assert_eq!(check_sync_facade("crates/engine/src/a.rs", src), vec![]);
+    }
+
+    #[test]
+    fn documented_ordering_passes() {
+        let src = "fn f(a: &A) {\n    // ordering: Dekker store half.\n    a.x.store(1, Ordering::SeqCst);\n    a.y.load(Ordering::Relaxed); // ordering: gated by x.\n}\n";
+        assert_eq!(check_ordering_comments("crates/e/src/p.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allowlisted_expect_passes() {
+        let allow =
+            parse_allowlist("# vetted\ncrates/core/src/a.rs :: .expect(\"checked above\")\n");
+        let src = "fn f() {\n    x.expect(\"checked above\");\n}\n";
+        assert_eq!(check_no_panic("crates/core/src/a.rs", src, &allow), vec![]);
+    }
+
+    #[test]
+    fn committed_bench_files_pass() {
+        // The real committed snapshots must satisfy their own schema.
+        let root = env!("CARGO_MANIFEST_DIR");
+        for name in ["BENCH_engine.json", "BENCH_parallel.json"] {
+            let text = std::fs::read_to_string(format!("{root}/../{name}")).unwrap();
+            assert_eq!(check_bench_schema(name, &text), vec![], "{name}");
+        }
+    }
+
+    // -- and must demonstrably fail on violations --
+
+    #[test]
+    fn missing_crate_attrs_flagged() {
+        let v = check_crate_attrs("crates/x/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].msg.contains("forbid(unsafe_code)"));
+        assert!(v[1].msg.contains("deny(missing_docs)"));
+    }
+
+    #[test]
+    fn direct_std_sync_flagged() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let v = check_sync_facade("crates/engine/src/a.rs", src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        assert!(v[1].msg.contains("std::thread"));
+    }
+
+    #[test]
+    fn std_sync_in_test_module_is_exempt() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    fn t() {}\n}\n";
+        assert_eq!(check_sync_facade("crates/engine/src/a.rs", src), vec![]);
+    }
+
+    #[test]
+    fn undocumented_ordering_flagged() {
+        let src = "fn f(a: &A) {\n    a.x.store(1, Ordering::SeqCst);\n}\n";
+        let v = check_ordering_comments("crates/e/src/p.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn ordering_comment_outside_window_flagged() {
+        let src = "// ordering: too far away.\n\n\n\n\n\nfn f(a: &A) {\n    a.x.store(1, Ordering::SeqCst);\n}\n";
+        assert_eq!(check_ordering_comments("crates/e/src/p.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_and_imports_are_exempt() {
+        let src = "use std::sync::atomic::Ordering;\nfn f(a: u32, b: u32) -> std::cmp::Ordering {\n    a.cmp(&b)\n}\n";
+        assert_eq!(check_ordering_comments("crates/e/src/p.rs", src), vec![]);
+    }
+
+    #[test]
+    fn unvetted_unwrap_flagged() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"oops\");\n    panic!(\"boom\");\n}\n";
+        let v = check_no_panic("crates/core/src/a.rs", src, &[]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn unwrap_in_test_block_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert_eq!(check_no_panic("crates/core/src/a.rs", src, &[]), vec![]);
+    }
+
+    #[test]
+    fn allowlist_is_path_scoped() {
+        let allow = parse_allowlist("crates/core/src/a.rs :: .unwrap()");
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(check_no_panic("crates/core/src/a.rs", src, &allow), vec![]);
+        assert_eq!(check_no_panic("crates/core/src/b.rs", src, &allow).len(), 1);
+    }
+
+    #[test]
+    fn broken_json_flagged() {
+        let v = check_bench_schema("BENCH_x.json", "{\"bench\": ");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("not JSON"));
+    }
+
+    #[test]
+    fn dropped_schema_key_flagged() {
+        let text =
+            r#"{"bench": "engine", "mode": "quick", "results": [{"shards": 1, "completed": 5}]}"#;
+        let v = check_bench_schema("BENCH_engine.json", text);
+        let missing: Vec<&str> = v
+            .iter()
+            .filter_map(|x| x.msg.strip_prefix("missing schema key `"))
+            .map(|m| m.trim_end_matches('`'))
+            .collect();
+        assert_eq!(
+            missing,
+            vec![
+                "workload",
+                "per_shard_input_rate_mhz",
+                "single_channel_mdesc_per_s",
+                "acceptance_4_shards_ge_2x"
+            ]
+        );
+    }
+
+    #[test]
+    fn result_row_without_shards_flagged() {
+        let text = r#"{"bench": "z", "mode": "quick", "results": [{"completed": 5}]}"#;
+        let v = check_bench_schema("BENCH_z.json", text);
+        assert!(v.iter().any(|x| x.msg.contains("results[0]")));
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let doc =
+            parse_json(r#"{"a": [1, -2.5e3, "x\"y"], "b": {"c": null, "d": false}}"#).unwrap();
+        assert!(matches!(doc.get("a"), Some(Json::Arr(items)) if items.len() == 3));
+        assert_eq!(doc.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, ]").is_err());
+    }
+
+    #[test]
+    fn path_module_test_decl_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nmod tests;\nfn f() { x.unwrap(); }\n";
+        assert_eq!(check_no_panic("crates/core/src/a.rs", src, &[]).len(), 1);
+        assert!(is_test_file("crates/core/src/sim/tests.rs"));
+        assert!(!is_test_file("crates/core/src/sim/mod.rs"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Workspace task runner: `cargo xtask lint`.
+//!
+//! Runs the repo-specific static-analysis pass described in
+//! DESIGN.md §Concurrency model & static analysis: crate-root hygiene
+//! attributes, the `flowlut_core::sync` facade boundary, `// ordering:`
+//! justifications on every atomic site, the hot-path no-panic rule
+//! (with `xtask/lint_allow.txt` as the vetted-exception list), and the
+//! committed `BENCH_*.json` schema. Pure `std` — no external
+//! dependencies — so it runs in the offline build like everything else.
+//!
+//! The rules themselves live in [`lint`] as pure functions over file
+//! contents; this binary only discovers files and reports.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::Violation;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = repo_root();
+            let (files, violations) = run_lint(&root);
+            if violations.is_empty() {
+                println!("xtask lint: {files} files clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "xtask lint: {} violation(s) in {files} files",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint   (got {:?})",
+                other.unwrap_or("<nothing>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root (xtask always lives one level below it).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
+
+/// Crates whose sources count as hot-path for the no-panic rule.
+const HOT_PATH_CRATES: [&str; 4] = ["engine", "core", "cam", "hash"];
+
+/// Runs every rule over the workspace; returns the number of files
+/// scanned and all violations found.
+fn run_lint(root: &Path) -> (usize, Vec<Violation>) {
+    let mut files = 0usize;
+    let mut out: Vec<Violation> = Vec::new();
+    let allowlist = lint::parse_allowlist(&read(&root.join("xtask/lint_allow.txt")));
+
+    // crate-attrs: first-party crate roots (workspace crates, the
+    // first-party vendored model checker, and this task runner; the
+    // remaining vendor/ shims are ports of external crates and exempt).
+    let mut roots: Vec<PathBuf> = crate_dirs(root)
+        .into_iter()
+        .map(|d| d.join("src/lib.rs"))
+        .filter(|p| p.is_file())
+        .collect();
+    roots.push(root.join("vendor/loomlite/src/lib.rs"));
+    roots.push(root.join("xtask/src/main.rs"));
+    for path in roots {
+        files += 1;
+        out.extend(lint::check_crate_attrs(&rel(root, &path), &read(&path)));
+    }
+
+    // Per-file source rules over crates/*/src.
+    for dir in crate_dirs(root) {
+        let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        let hot = HOT_PATH_CRATES.contains(&crate_name);
+        for path in rust_files(&dir.join("src")) {
+            let rp = rel(root, &path);
+            if lint::is_test_file(&rp) {
+                continue;
+            }
+            files += 1;
+            let src = read(&path);
+            out.extend(lint::check_ordering_comments(&rp, &src));
+            if crate_name == "engine" {
+                out.extend(lint::check_sync_facade(&rp, &src));
+            }
+            if hot {
+                out.extend(lint::check_no_panic(&rp, &src, &allowlist));
+            }
+        }
+    }
+
+    // bench-schema: committed perf snapshots at the repo root.
+    let mut bench_files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("read workspace root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    bench_files.sort();
+    for path in bench_files {
+        files += 1;
+        out.extend(lint::check_bench_schema(&rel(root, &path), &read(&path)));
+    }
+
+    (files, out)
+}
+
+/// The workspace's crate directories (`crates/*`), sorted.
+fn crate_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))
+        .expect("read crates/")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("xtask: cannot read {}: {e}", path.display()))
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed workspace must lint clean: this is the same check
+    /// CI's static-analysis job runs, pinned as a test so a violation
+    /// fails `cargo test` even without the job.
+    #[test]
+    fn workspace_lints_clean() {
+        let (files, violations) = run_lint(&repo_root());
+        assert!(files > 40, "suspiciously few files scanned: {files}");
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
