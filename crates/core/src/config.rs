@@ -1,6 +1,9 @@
 //! Configuration of the timed flow-LUT simulator.
 
-use flowlut_ddr3::{AddressMapping, Geometry, TimingParams, TimingPreset};
+use flowlut_ddr3::model::MemoryModel;
+use flowlut_ddr3::{
+    AddressMapping, ControllerConfig, Geometry, MemorySpec, PagePolicy, TimingParams, TimingPreset,
+};
 
 use crate::error::ConfigError;
 use crate::table::TableConfig;
@@ -97,6 +100,12 @@ pub struct SimConfig {
     pub max_in_flight: usize,
     /// Behaviour when an insertion finds table and CAM full.
     pub full_table_policy: FullTablePolicy,
+    /// Which memory technology backs each path. The default
+    /// ([`MemorySpec::Ddr3`]) builds the paper's DDR3 controller from
+    /// the `timing`/`geometry`/`mapping`/`clock_ratio` fields above —
+    /// byte-identical to the pre-trait behaviour; the other variants
+    /// carry their own parameters and ignore those legacy fields.
+    pub memory: MemorySpec,
 }
 
 impl Default for SimConfig {
@@ -125,6 +134,7 @@ impl Default for SimConfig {
             housekeeping_period_sys: 0,
             max_in_flight: 256,
             full_table_policy: FullTablePolicy::Drop,
+            memory: MemorySpec::Ddr3,
         }
     }
 }
@@ -147,15 +157,63 @@ impl SimConfig {
         }
     }
 
-    /// System-clock frequency in MHz implied by the memory timing and
-    /// clock ratio (prototype: 800 / 4 = 200 MHz).
+    /// System-clock frequency in MHz implied by the selected memory's
+    /// clock and ratio (DDR3 prototype: 800 / 4 = 200 MHz).
     pub fn sys_clock_mhz(&self) -> f64 {
-        self.timing.clock_mhz() / f64::from(self.clock_ratio)
+        match &self.memory {
+            MemorySpec::Ddr3 => self.timing.clock_mhz() / f64::from(self.clock_ratio),
+            MemorySpec::Ddr4(p) | MemorySpec::Hbm2(p) => p.clock_mhz() / f64::from(p.clock_ratio),
+            MemorySpec::Sram(p) => p.clock_mhz(),
+        }
     }
 
     /// System-clock period in nanoseconds.
     pub fn sys_period_ns(&self) -> f64 {
         1000.0 / self.sys_clock_mhz()
+    }
+
+    /// Bytes per memory burst of the selected memory model (DDR3: from
+    /// `geometry`; the other models carry their own burst size).
+    pub fn mem_burst_bytes(&self) -> usize {
+        match &self.memory {
+            MemorySpec::Ddr3 => self.geometry.burst_bytes(),
+            MemorySpec::Ddr4(p) | MemorySpec::Hbm2(p) => p.burst_bytes(),
+            MemorySpec::Sram(p) => p.burst_bytes,
+        }
+    }
+
+    /// Burst-aligned capacity of each path's memory.
+    pub fn mem_total_bursts(&self) -> u64 {
+        match &self.memory {
+            MemorySpec::Ddr3 => self.geometry.total_bursts(),
+            MemorySpec::Ddr4(p) | MemorySpec::Hbm2(p) => p.total_bursts(),
+            MemorySpec::Sram(p) => p.total_bursts,
+        }
+    }
+
+    /// Memory-clock cycles the simulator steps each model per system
+    /// cycle.
+    pub fn mem_ticks_per_sys(&self) -> u32 {
+        self.memory.ticks_per_sys(self.clock_ratio)
+    }
+
+    /// Builds one path's memory model from this configuration.
+    pub fn build_memory(&self) -> Box<dyn MemoryModel> {
+        // The legacy ControllerConfig is exactly what the simulator
+        // handed MemoryController before the trait extraction; the
+        // non-DDR3 variants consume only its queue capacity and
+        // refresh switch.
+        self.memory.build(ControllerConfig {
+            timing: self.timing,
+            geometry: self.geometry,
+            mapping: self.mapping,
+            page_policy: PagePolicy::Closed,
+            queue_capacity: self.controller_queue,
+            group_limit: self.group_limit,
+            refresh_enabled: self.refresh_enabled,
+            cmd_interval: u64::from(self.clock_ratio),
+            ..ControllerConfig::default()
+        })
     }
 
     /// Validates the configuration.
@@ -169,16 +227,19 @@ impl SimConfig {
         self.table.validate()?;
         self.timing.validate()?;
         self.geometry.validate()?;
+        self.memory
+            .validate()
+            .map_err(|e| ConfigError::new(format!("memory spec: {e}")))?;
         if self.clock_ratio == 0 {
             return Err(ConfigError::new("clock_ratio must be non-zero"));
         }
-        let burst_bytes = self.geometry.burst_bytes();
+        let burst_bytes = self.mem_burst_bytes();
         let bursts_needed = u64::from(self.table.buckets_per_mem)
             * u64::from(self.table.bursts_per_bucket(burst_bytes));
-        if bursts_needed > self.geometry.total_bursts() {
+        if bursts_needed > self.mem_total_bursts() {
             return Err(ConfigError::new(format!(
                 "table needs {bursts_needed} bursts but each memory provides {}",
-                self.geometry.total_bursts()
+                self.mem_total_bursts()
             )));
         }
         if self.input_rate_mhz <= 0.0 || self.input_rate_mhz > self.sys_clock_mhz() {
@@ -253,6 +314,57 @@ mod tests {
     fn zero_queues_rejected() {
         let mut c = SimConfig::test_small();
         c.sequencer_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn every_memory_kind_yields_a_valid_config() {
+        use flowlut_ddr3::MemoryKind;
+        for kind in MemoryKind::ALL {
+            let c = SimConfig {
+                memory: kind.default_spec(),
+                ..SimConfig::default()
+            };
+            c.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(c.sys_clock_mhz() > 0.0);
+            assert_eq!(c.mem_burst_bytes(), 32, "{}", kind.name());
+            let m = c.build_memory();
+            assert_eq!(m.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn sys_clock_follows_the_selected_memory() {
+        use flowlut_ddr3::{DramParams, SramParams};
+        let mut c = SimConfig::default();
+        assert!((c.sys_clock_mhz() - 200.0).abs() < 1e-9);
+        c.memory = MemorySpec::Sram(SramParams::ideal_200mhz());
+        assert!((c.sys_clock_mhz() - 200.0).abs() < 1e-9);
+        assert_eq!(c.mem_ticks_per_sys(), 1);
+        let ddr4 = DramParams::ddr4_2400();
+        c.memory = MemorySpec::Ddr4(ddr4);
+        assert_eq!(c.mem_ticks_per_sys(), ddr4.clock_ratio);
+        assert!((c.sys_clock_mhz() - ddr4.clock_mhz() / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_memory_spec_rejected() {
+        use flowlut_ddr3::DramParams;
+        let mut c = SimConfig::default();
+        let mut p = DramParams::ddr4_2400();
+        p.t_ccd_l = 0;
+        c.memory = MemorySpec::Ddr4(p);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn oversized_table_rejected_for_new_models() {
+        use flowlut_ddr3::DramParams;
+        let mut c = SimConfig::default();
+        let mut p = DramParams::ddr4_2400();
+        p.rows = 16; // far too small for the 8 M-entry table
+        c.memory = MemorySpec::Ddr4(p);
         assert!(c.validate().is_err());
     }
 }

@@ -4,8 +4,10 @@
 //! [`FlowLutSim`] models the prototype end to end: a rate-limited
 //! descriptor source feeds a **sequencer** whose load balancer picks the
 //! first lookup path; the overflow **CAM** answers in one system cycle;
-//! each path's **DLU** forwards bucket reads to its own DDR3 memory
-//! (modelled by [`flowlut_ddr3::MemoryController`]); **Flow Match**
+//! each path's **DLU** forwards bucket reads to its own memory, modelled
+//! behind the object-safe [`flowlut_ddr3::MemoryModel`] trait (the
+//! paper's DDR3 controller by default; DDR4/HBM2/SRAM via
+//! [`SimConfig::memory`](crate::config::SimConfig)); **Flow Match**
 //! compares returned bucket bytes against the descriptor's tuple; a miss
 //! redirects to the other path (LU2), and a second miss raises an
 //! insertion to the **update unit**, whose per-path **BWr_Gen** batches
@@ -27,10 +29,8 @@ pub use types::{DescState, LuStage, ResolvedVia, SimSnapshot, SimStats};
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use flowlut_ddr3::{
-    AccessKind, Completion, ControllerConfig, ControllerStats, DeviceStats, MemRequest,
-    MemoryController, PagePolicy,
-};
+use flowlut_ddr3::model::MemoryModel;
+use flowlut_ddr3::{AccessKind, Completion, MemRequest, MemStats};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
 use crate::backend::{
@@ -96,10 +96,10 @@ struct ReadAssembly {
     got: u32,
 }
 
-/// One lookup path: its DDR3 memory plus the DLU state in front of it.
+/// One lookup path: its memory model plus the DLU state in front of it.
 #[derive(Debug)]
 struct PathSim {
-    ctrl: MemoryController,
+    ctrl: Box<dyn MemoryModel>,
     read_q: VecDeque<ReadIntent>,
     write_q: VecDeque<WriteIntent>,
     /// Buckets with pending (batched or in-flight) writes → outstanding
@@ -126,10 +126,9 @@ pub struct SimReport {
     pub stats: SimStats,
     /// Final table occupancy.
     pub table_occupancy: Occupancy,
-    /// Per-path memory-controller statistics (A, B).
-    pub controller_stats: [ControllerStats; 2],
-    /// Per-path DDR3 device statistics (A, B).
-    pub device_stats: [DeviceStats; 2],
+    /// Per-path memory statistics (A, B): scheduler and device counters
+    /// of whichever [`MemoryModel`] backed the run.
+    pub mem_stats: [MemStats; 2],
     /// Mean admission→completion latency in nanoseconds.
     pub mean_latency_ns: f64,
 }
@@ -140,6 +139,7 @@ pub struct FlowLutSim {
     cfg: SimConfig,
     bursts_per_bucket: u32,
     burst_bytes: usize,
+    mem_ticks_per_sys: u32,
     table: HashCamTable,
     flow_state: FlowStateStore,
     paths: [PathSim; 2],
@@ -173,28 +173,11 @@ impl FlowLutSim {
     /// [`SimConfig::validate`] first for fallible handling.
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate().expect("invalid simulator configuration");
-        let burst_bytes = cfg.geometry.burst_bytes();
+        let burst_bytes = cfg.mem_burst_bytes();
         let bursts_per_bucket = cfg.table.bursts_per_bucket(burst_bytes);
-        let mk_ctrl = || {
-            MemoryController::new(ControllerConfig {
-                timing: cfg.timing,
-                geometry: cfg.geometry,
-                mapping: cfg.mapping,
-                // Flow lookups are single-shot random rows: close the
-                // row with auto-precharge so each access costs ACT+RD/WR
-                // instead of PRE+ACT+RD.
-                page_policy: PagePolicy::Closed,
-                queue_capacity: cfg.controller_queue,
-                group_limit: cfg.group_limit,
-                refresh_enabled: cfg.refresh_enabled,
-                // Quarter-rate command sequencing: one command per user
-                // (system) clock, i.e. one per clock_ratio memory cycles.
-                cmd_interval: u64::from(cfg.clock_ratio),
-                ..ControllerConfig::default()
-            })
-        };
+        let mem_ticks_per_sys = cfg.mem_ticks_per_sys();
         let mk_path = || PathSim {
-            ctrl: mk_ctrl(),
+            ctrl: cfg.build_memory(),
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             pending_write_buckets: HashMap::new(),
@@ -223,6 +206,7 @@ impl FlowLutSim {
             last_completion_cycle: 0,
             bursts_per_bucket,
             burst_bytes,
+            mem_ticks_per_sys,
             cfg,
         }
     }
@@ -406,10 +390,9 @@ impl FlowLutSim {
             },
             stats,
             table_occupancy: self.table.occupancy(),
-            controller_stats: [*self.paths[0].ctrl.stats(), *self.paths[1].ctrl.stats()],
-            device_stats: [
-                *self.paths[0].ctrl.device().stats(),
-                *self.paths[1].ctrl.device().stats(),
+            mem_stats: [
+                self.paths[0].ctrl.mem_stats(),
+                self.paths[1].ctrl.mem_stats(),
             ],
             mean_latency_ns: self.stats.delta_since(start_stats).mean_latency_sys()
                 * self.cfg.sys_period_ns(),
@@ -442,10 +425,11 @@ impl FlowLutSim {
     pub fn tick(&mut self) {
         self.now_sys += 1;
 
-        // 1. Memory clocks (clock_ratio per system cycle, both paths).
+        // 1. Memory clocks (model-specific ratio per system cycle,
+        //    both paths).
         let mut completions: Vec<(usize, Completion)> = Vec::new();
         for p in 0..2 {
-            for _ in 0..self.cfg.clock_ratio {
+            for _ in 0..self.mem_ticks_per_sys {
                 for c in self.paths[p].ctrl.tick() {
                     completions.push((p, c));
                 }

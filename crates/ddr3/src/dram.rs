@@ -1,0 +1,1023 @@
+//! A generalized closed-page, bank-grouped, multi-channel DRAM engine:
+//! the cycle-level model behind the DDR4 and HBM2 variants of
+//! [`MemorySpec`](crate::model::MemorySpec).
+//!
+//! Where the paper-era [`MemoryController`](crate::controller) models a
+//! single-channel DDR3 part with one flat bank pool, post-DDR3 devices
+//! changed the floorplan in two ways this model captures:
+//!
+//! * **Bank groups** (DDR4, HBM2): consecutive column commands to the
+//!   *same* group must be spaced `tCCD_L` apart, while cross-group
+//!   commands only need `tCCD_S` — likewise `tRRD_L`/`tRRD_S` for
+//!   activates and `tWTR_L`/`tWTR_S` for write→read turnaround.
+//! * **Many narrow channels** (HBM2): independent command/data buses
+//!   per (pseudo-)channel; bandwidth scales with channel count while
+//!   each channel keeps DRAM-class random-access latency.
+//!
+//! The model is closed-page only (every column command auto-precharges)
+//! because the flow LUT's bucket accesses are random at row granularity
+//! — the same reason `flowlut_core::sim` runs the DDR3 controller with
+//! `PagePolicy::Closed`. Requests are burst-granular against one shared
+//! [`SparseStorage`]; addresses interleave channel-first then
+//! bank-first so consecutive bucket bursts spread across the
+//! parallelism the device actually has. Completions are returned sorted
+//! by `(enqueued_at, id)`, matching the DDR3 controller's deterministic
+//! delivery contract.
+
+use std::collections::VecDeque;
+
+use crate::controller::{AccessKind, Completion, MemRequest};
+use crate::error::{ConfigError, EnqueueError};
+use crate::model::{MemStats, MemoryModel};
+use crate::stats::{ControllerStats, DeviceStats};
+use crate::storage::SparseStorage;
+
+/// Timing and geometry of a bank-grouped, multi-channel DRAM device.
+///
+/// All timing fields are in memory-clock cycles except `tck_ps`.
+/// Presets: [`DramParams::ddr4_2400`] and [`DramParams::hbm2_2gbps`];
+/// parameter provenance is documented in DESIGN.md §Calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DramParams {
+    /// Memory clock period in picoseconds.
+    pub tck_ps: u64,
+    /// Burst length in beats (data transferred over `burst_length / 2`
+    /// clock cycles on a DDR bus).
+    pub burst_length: u32,
+    /// CAS (read) latency.
+    pub cl: u64,
+    /// CAS write latency.
+    pub cwl: u64,
+    /// ACT to column command, same bank.
+    pub t_rcd: u64,
+    /// Precharge period.
+    pub t_rp: u64,
+    /// ACT to precharge, same bank.
+    pub t_ras: u64,
+    /// ACT to ACT, same bank.
+    pub t_rc: u64,
+    /// Column to column, different bank group.
+    pub t_ccd_s: u64,
+    /// Column to column, same bank group.
+    pub t_ccd_l: u64,
+    /// ACT to ACT, different bank group.
+    pub t_rrd_s: u64,
+    /// ACT to ACT, same bank group.
+    pub t_rrd_l: u64,
+    /// Write data end to read command, different bank group.
+    pub t_wtr_s: u64,
+    /// Write data end to read command, same bank group.
+    pub t_wtr_l: u64,
+    /// Write recovery before precharge.
+    pub t_wr: u64,
+    /// Read to precharge.
+    pub t_rtp: u64,
+    /// Four-activate window.
+    pub t_faw: u64,
+    /// Average refresh interval (per channel).
+    pub t_refi: u64,
+    /// Refresh cycle time.
+    pub t_rfc: u64,
+    /// Independent (pseudo-)channels, each with its own command/data bus.
+    pub channels: u32,
+    /// Bank groups per channel.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Burst-aligned columns per row.
+    pub cols: u32,
+    /// Data-bus width per channel in bits.
+    pub bus_width_bits: u32,
+    /// Memory-clock cycles per consumer (system) cycle.
+    pub clock_ratio: u32,
+}
+
+impl DramParams {
+    /// DDR4-2400 speed-bin R (CL16-16-16), x32 channel, 4 bank groups
+    /// of 4 banks — cycle counts derived from the JEDEC nanosecond
+    /// specs at tCK = 0.833 ns (see DESIGN.md §Calibration).
+    pub fn ddr4_2400() -> Self {
+        DramParams {
+            tck_ps: 833,
+            burst_length: 8,
+            cl: 16,
+            cwl: 12,
+            t_rcd: 16,
+            t_rp: 16,
+            t_ras: 39,
+            t_rc: 55,
+            t_ccd_s: 4,
+            t_ccd_l: 6,
+            t_rrd_s: 4,
+            t_rrd_l: 6,
+            t_wtr_s: 3,
+            t_wtr_l: 9,
+            t_wr: 18,
+            t_rtp: 9,
+            t_faw: 26,
+            t_refi: 9364,
+            t_rfc: 313,
+            channels: 1,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 8192,
+            cols: 128,
+            bus_width_bits: 32,
+            clock_ratio: 6,
+        }
+    }
+
+    /// HBM2 at 2.0 Gb/s/pin in pseudo-channel mode: 8 independent
+    /// 64-bit pseudo-channels, BL4, low tRC (45 ns) — cycle counts at
+    /// tCK = 1.0 ns (see DESIGN.md §Calibration).
+    pub fn hbm2_2gbps() -> Self {
+        DramParams {
+            tck_ps: 1000,
+            burst_length: 4,
+            cl: 14,
+            cwl: 7,
+            t_rcd: 14,
+            t_rp: 15,
+            t_ras: 30,
+            t_rc: 45,
+            t_ccd_s: 2,
+            t_ccd_l: 4,
+            t_rrd_s: 4,
+            t_rrd_l: 6,
+            t_wtr_s: 3,
+            t_wtr_l: 8,
+            t_wr: 15,
+            t_rtp: 8,
+            t_faw: 30,
+            t_refi: 3900,
+            t_rfc: 260,
+            channels: 8,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 4096,
+            cols: 32,
+            bus_width_bits: 64,
+            clock_ratio: 5,
+        }
+    }
+
+    /// Data-bus cycles one burst occupies (`burst_length / 2`, DDR).
+    pub fn burst_cycles(&self) -> u64 {
+        u64::from(self.burst_length / 2)
+    }
+
+    /// Memory clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        1.0e6 / self.tck_ps as f64
+    }
+
+    /// Bytes per burst on one channel.
+    pub fn burst_bytes(&self) -> usize {
+        (self.bus_width_bits as usize / 8) * self.burst_length as usize
+    }
+
+    /// Banks per channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Burst-aligned capacity across all channels.
+    pub fn total_bursts(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.banks_per_channel())
+            * u64::from(self.rows)
+            * u64::from(self.cols)
+    }
+
+    /// Checks internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the violated relation: zero
+    /// clock/geometry fields, odd burst length, `tRC < tRAS + tRP`,
+    /// `CWL > CL`, short-parameter exceeding its long counterpart
+    /// (`tCCD_S/tCCD_L`, `tRRD_S/tRRD_L`, `tWTR_S/tWTR_L`),
+    /// `tCCD_S < burst_cycles`, `tFAW < tRRD_S`, or `tREFI <= tRFC`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tck_ps == 0 {
+            return Err(ConfigError::new("tck_ps must be nonzero"));
+        }
+        if self.burst_length == 0 || !self.burst_length.is_multiple_of(2) {
+            return Err(ConfigError::new("burst_length must be even and nonzero"));
+        }
+        if self.cl == 0 || self.cwl == 0 {
+            return Err(ConfigError::new("CL and CWL must be nonzero"));
+        }
+        if self.cwl > self.cl {
+            return Err(ConfigError::new("CWL must not exceed CL"));
+        }
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(ConfigError::new("tRC must cover tRAS + tRP"));
+        }
+        if self.t_ccd_s < self.burst_cycles() {
+            return Err(ConfigError::new(
+                "tCCD_S must be at least the burst occupancy",
+            ));
+        }
+        if self.t_ccd_l < self.t_ccd_s {
+            return Err(ConfigError::new("tCCD_L must be at least tCCD_S"));
+        }
+        if self.t_rrd_l < self.t_rrd_s {
+            return Err(ConfigError::new("tRRD_L must be at least tRRD_S"));
+        }
+        if self.t_wtr_l < self.t_wtr_s {
+            return Err(ConfigError::new("tWTR_L must be at least tWTR_S"));
+        }
+        if self.t_faw < self.t_rrd_s {
+            return Err(ConfigError::new("tFAW must be at least tRRD_S"));
+        }
+        if self.t_refi <= self.t_rfc {
+            return Err(ConfigError::new("tREFI must exceed tRFC"));
+        }
+        if self.channels == 0
+            || self.bank_groups == 0
+            || self.banks_per_group == 0
+            || self.rows == 0
+            || self.cols == 0
+        {
+            return Err(ConfigError::new(
+                "channels, bank_groups, banks_per_group, rows and cols must be nonzero",
+            ));
+        }
+        if self.bus_width_bits == 0 || !self.bus_width_bits.is_multiple_of(8) {
+            return Err(ConfigError::new(
+                "bus_width_bits must be a nonzero multiple of 8",
+            ));
+        }
+        if self.clock_ratio == 0 {
+            return Err(ConfigError::new("clock_ratio must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+/// A request parked in a per-bank queue, with its decomposed location.
+#[derive(Debug)]
+struct QueuedReq {
+    req: MemRequest,
+    enqueued_at: u64,
+}
+
+/// Closed-page bank lifecycle: idle → (ACT) → opening → (RD/WR with
+/// auto-precharge) → idle again once `next_act_at` passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BankPhase {
+    Idle,
+    /// ACT issued; column legal at `col_ready_at`.
+    Opening {
+        col_ready_at: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Bank {
+    phase: BankPhase,
+    /// Earliest cycle the next ACT may issue (tRC + precharge recovery).
+    next_act_at: u64,
+    /// When the last ACT issued (for tRC bookkeeping).
+    last_act_at: u64,
+    queue: VecDeque<QueuedReq>,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank {
+            phase: BankPhase::Idle,
+            next_act_at: 0,
+            last_act_at: 0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Per-channel command-bus and rank-level fences.
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    /// Next cycle the command bus accepts a command. Unlike the DDR3
+    /// controller's quarter-rate `cmd_interval` (a prototype artifact),
+    /// these models issue at the device's native 1N rate — one command
+    /// per memory clock per channel — as modern PHYs do.
+    next_cmd_at: u64,
+    /// tRRD_S fence: earliest next ACT anywhere on the channel.
+    next_act_any: u64,
+    /// tRRD_L fences, one per bank group.
+    next_act_group: Vec<u64>,
+    /// Sliding window of the last four ACT times (tFAW).
+    recent_acts: VecDeque<u64>,
+    /// Earliest next read column command (turnaround + tCCD_S).
+    next_rd_at: u64,
+    /// Earliest next write column command (turnaround + tCCD_S).
+    next_wr_at: u64,
+    /// tCCD_L fences: earliest next column command per bank group.
+    next_col_group: Vec<u64>,
+    /// tWTR_L fences: earliest next read per bank group.
+    next_rd_group: Vec<u64>,
+    /// Direction of the last column command, for turnaround counting.
+    last_dir: Option<AccessKind>,
+    /// Next scheduled refresh due time.
+    refresh_due: u64,
+    /// While a refresh is in progress, commands stall until here.
+    refresh_busy_until: u64,
+}
+
+impl Channel {
+    fn new(p: &DramParams) -> Self {
+        let groups = p.bank_groups as usize;
+        Channel {
+            banks: (0..p.banks_per_channel()).map(|_| Bank::new()).collect(),
+            next_cmd_at: 0,
+            next_act_any: 0,
+            next_act_group: vec![0; groups],
+            recent_acts: VecDeque::new(),
+            next_rd_at: 0,
+            next_wr_at: 0,
+            next_col_group: vec![0; groups],
+            next_rd_group: vec![0; groups],
+            last_dir: None,
+            refresh_due: p.t_refi,
+            refresh_busy_until: 0,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        self.banks
+            .iter()
+            .any(|b| !b.queue.is_empty() || b.phase != BankPhase::Idle)
+    }
+}
+
+/// A read or write that has issued its column command and is waiting
+/// out the data phase.
+#[derive(Debug)]
+struct InFlight {
+    req: MemRequest,
+    enqueued_at: u64,
+    done_at: u64,
+    data: Option<Vec<u8>>,
+}
+
+/// The bank-grouped, multi-channel, closed-page DRAM model. Construct
+/// via [`MemorySpec::build`](crate::model::MemorySpec::build) or
+/// directly with [`GroupedDramModel::new`].
+#[derive(Debug)]
+pub struct GroupedDramModel {
+    name: &'static str,
+    params: DramParams,
+    queue_capacity: usize,
+    refresh_enabled: bool,
+    now: u64,
+    queued: usize,
+    channels: Vec<Channel>,
+    in_flight: Vec<InFlight>,
+    storage: SparseStorage,
+    ctrl_stats: ControllerStats,
+    dev_stats: DeviceStats,
+    last_progress_at: u64,
+}
+
+/// Deadlock guard: with valid parameters every queued request issues
+/// well within one refresh interval plus recovery.
+const PROGRESS_WINDOW: u64 = 1_000_000;
+
+impl GroupedDramModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`DramParams::validate`] or
+    /// `queue_capacity` is zero.
+    pub fn new(
+        name: &'static str,
+        params: DramParams,
+        queue_capacity: usize,
+        refresh_enabled: bool,
+    ) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid DramParams: {e}");
+        }
+        assert!(queue_capacity > 0, "queue_capacity must be nonzero");
+        GroupedDramModel {
+            name,
+            params,
+            queue_capacity,
+            refresh_enabled,
+            now: 0,
+            queued: 0,
+            channels: (0..params.channels)
+                .map(|_| Channel::new(&params))
+                .collect(),
+            in_flight: Vec::new(),
+            storage: SparseStorage::new(params.burst_bytes()),
+            ctrl_stats: ControllerStats::default(),
+            dev_stats: DeviceStats::default(),
+            last_progress_at: 0,
+        }
+    }
+
+    /// The parameter set this model was built from.
+    pub fn params(&self) -> &DramParams {
+        &self.params
+    }
+
+    /// Decomposes a burst address: channel-first interleave, then
+    /// bank-first within the channel, so consecutive addresses fan out
+    /// across every level of device parallelism.
+    fn decompose(&self, addr: u64) -> (usize, usize) {
+        let p = &self.params;
+        let ch = (addr % u64::from(p.channels)) as usize;
+        let within = addr / u64::from(p.channels);
+        let bank = (within % u64::from(p.banks_per_channel())) as usize;
+        (ch, bank)
+    }
+
+    fn group_of(&self, bank: usize) -> usize {
+        bank / self.params.banks_per_group as usize
+    }
+
+    /// Pops completions due this cycle, sorted by `(enqueued_at, id)`.
+    fn collect_completions(&mut self) -> Vec<Completion> {
+        let now = self.now;
+        let mut done: Vec<Completion> = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at <= now {
+                let fin = self.in_flight.swap_remove(i);
+                let latency = now - fin.enqueued_at;
+                self.ctrl_stats.total_latency_cycles += latency;
+                self.ctrl_stats.max_latency_cycles =
+                    self.ctrl_stats.max_latency_cycles.max(latency);
+                match fin.req.kind {
+                    AccessKind::Read => self.ctrl_stats.reads_done += 1,
+                    AccessKind::Write => self.ctrl_stats.writes_done += 1,
+                }
+                done.push(Completion {
+                    id: fin.req.id,
+                    kind: fin.req.kind,
+                    addr: fin.req.addr,
+                    data: fin.data,
+                    enqueued_at: fin.enqueued_at,
+                    completed_at: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|c| (c.enqueued_at, c.id));
+        if !done.is_empty() {
+            self.last_progress_at = self.now;
+        }
+        done
+    }
+
+    /// Tries to issue one refresh / column / activate command on
+    /// channel `ch`; returns whether a command issued.
+    fn step_channel(&mut self, ch: usize) -> bool {
+        let now = self.now;
+        if self.channels[ch].refresh_busy_until > now || self.channels[ch].next_cmd_at > now {
+            return false;
+        }
+
+        // Refresh: once due, the channel quiesces (no new ACTs below)
+        // and issues REF as soon as every bank is closed and recovered.
+        if self.refresh_enabled && now >= self.channels[ch].refresh_due {
+            let all_idle = self.channels[ch]
+                .banks
+                .iter()
+                .all(|b| b.phase == BankPhase::Idle && b.next_act_at <= now);
+            if all_idle {
+                let t_rfc = self.params.t_rfc;
+                let t_refi = self.params.t_refi;
+                let chan = &mut self.channels[ch];
+                chan.refresh_busy_until = now + t_rfc;
+                chan.refresh_due += t_refi;
+                for bank in &mut chan.banks {
+                    bank.next_act_at = bank.next_act_at.max(now + t_rfc);
+                }
+                chan.next_cmd_at = now + 1;
+                self.dev_stats.refreshes += 1;
+                self.ctrl_stats.refreshes += 1;
+                return true;
+            }
+            // Banks still draining toward the refresh point: hold ACTs,
+            // but let in-progress columns below finish the quiesce.
+        }
+
+        if self.try_issue_column(ch) {
+            return true;
+        }
+        // No new ACTs while a refresh is pending quiesce.
+        if self.refresh_enabled && now >= self.channels[ch].refresh_due {
+            return false;
+        }
+        self.try_issue_activate(ch)
+    }
+
+    /// Issues the oldest legal column command on `ch`, if any.
+    fn try_issue_column(&mut self, ch: usize) -> bool {
+        let now = self.now;
+        let p = self.params;
+        let mut best: Option<(u64, u64, usize)> = None; // (enq, id, bank)
+        for (b, bank) in self.channels[ch].banks.iter().enumerate() {
+            let BankPhase::Opening { col_ready_at } = bank.phase else {
+                continue;
+            };
+            if col_ready_at > now {
+                continue;
+            }
+            let Some(head) = bank.queue.front() else {
+                continue;
+            };
+            let g = self.group_of(b);
+            let chan = &self.channels[ch];
+            let legal = match head.req.kind {
+                AccessKind::Read => {
+                    chan.next_rd_at <= now
+                        && chan.next_col_group[g] <= now
+                        && chan.next_rd_group[g] <= now
+                }
+                AccessKind::Write => chan.next_wr_at <= now && chan.next_col_group[g] <= now,
+            };
+            if !legal {
+                continue;
+            }
+            let key = (head.enqueued_at, head.req.id, b);
+            if best.is_none_or(|cur| (key.0, key.1) < (cur.0, cur.1)) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, b)) = best else {
+            return false;
+        };
+
+        let g = self.group_of(b);
+        let burst = p.burst_cycles();
+        let entry = self.channels[ch].banks[b]
+            .queue
+            .pop_front()
+            .expect("column candidate had a queued head");
+        self.queued -= 1;
+        let kind = entry.req.kind;
+
+        // Data phase + storage effect at issue time (arrival order per
+        // address is preserved because each bank queue is FIFO and the
+        // address maps to exactly one bank).
+        let data = match kind {
+            AccessKind::Read => Some(self.storage.read_burst(entry.req.addr)),
+            AccessKind::Write => {
+                let payload = entry
+                    .req
+                    .data
+                    .as_deref()
+                    .expect("controller-validated write carries a payload");
+                self.storage.write_burst(entry.req.addr, payload);
+                None
+            }
+        };
+        let done_at = match kind {
+            AccessKind::Read => now + p.cl + burst,
+            AccessKind::Write => now + p.cwl + burst,
+        };
+        self.in_flight.push(InFlight {
+            req: entry.req,
+            enqueued_at: entry.enqueued_at,
+            done_at,
+            data,
+        });
+
+        // Fences and bank auto-precharge bookkeeping.
+        let last_act = self.channels[ch].banks[b].last_act_at;
+        let chan = &mut self.channels[ch];
+        chan.next_col_group[g] = chan.next_col_group[g].max(now + p.t_ccd_l);
+        match kind {
+            AccessKind::Read => {
+                chan.next_rd_at = chan.next_rd_at.max(now + p.t_ccd_s);
+                // Read→write bus turnaround: (RL − WL) + burst + bubble
+                // (CWL ≤ CL is guaranteed by validate()).
+                chan.next_wr_at = chan.next_wr_at.max(now + (p.cl - p.cwl) + burst + 2);
+                // Auto-precharge after tRTP; bank free after tRP, no
+                // earlier than tRC from the ACT.
+                let pre_done = now + p.t_rtp + p.t_rp;
+                let bank = &mut chan.banks[b];
+                bank.phase = BankPhase::Idle;
+                bank.next_act_at = bank.next_act_at.max(pre_done).max(last_act + p.t_rc);
+                self.dev_stats.reads += 1;
+            }
+            AccessKind::Write => {
+                chan.next_wr_at = chan.next_wr_at.max(now + p.t_ccd_s);
+                // Write→read turnaround: WL + burst + tWTR (short for
+                // other groups, long for the same group).
+                let data_end = now + p.cwl + burst;
+                chan.next_rd_at = chan.next_rd_at.max(data_end + p.t_wtr_s);
+                chan.next_rd_group[g] = chan.next_rd_group[g].max(data_end + p.t_wtr_l);
+                // Auto-precharge after write recovery.
+                let pre_done = data_end + p.t_wr + p.t_rp;
+                let bank = &mut chan.banks[b];
+                bank.phase = BankPhase::Idle;
+                bank.next_act_at = bank.next_act_at.max(pre_done).max(last_act + p.t_rc);
+                self.dev_stats.writes += 1;
+            }
+        }
+        self.dev_stats.precharges += 1;
+        self.dev_stats.dq_busy_cycles += burst;
+        if chan.last_dir.is_some_and(|d| d != kind) {
+            self.dev_stats.turnarounds += 1;
+        }
+        chan.last_dir = Some(kind);
+        chan.next_cmd_at = now + 1;
+        true
+    }
+
+    /// Issues the oldest legal ACT on `ch`, if any.
+    fn try_issue_activate(&mut self, ch: usize) -> bool {
+        let now = self.now;
+        let p = self.params;
+        {
+            let chan = &mut self.channels[ch];
+            while chan
+                .recent_acts
+                .front()
+                .is_some_and(|&t| t + p.t_faw <= now)
+            {
+                chan.recent_acts.pop_front();
+            }
+        }
+        let chan = &self.channels[ch];
+        if chan.next_act_any > now || chan.recent_acts.len() >= 4 {
+            return false;
+        }
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (b, bank) in chan.banks.iter().enumerate() {
+            if bank.phase != BankPhase::Idle || bank.next_act_at > now {
+                continue;
+            }
+            let Some(head) = bank.queue.front() else {
+                continue;
+            };
+            if chan.next_act_group[self.group_of(b)] > now {
+                continue;
+            }
+            let key = (head.enqueued_at, head.req.id, b);
+            if best.is_none_or(|cur| (key.0, key.1) < (cur.0, cur.1)) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, b)) = best else {
+            return false;
+        };
+        let g = self.group_of(b);
+        let chan = &mut self.channels[ch];
+        let bank = &mut chan.banks[b];
+        bank.phase = BankPhase::Opening {
+            col_ready_at: now + p.t_rcd,
+        };
+        bank.last_act_at = now;
+        bank.next_act_at = bank.next_act_at.max(now + p.t_rc);
+        chan.next_act_any = now + p.t_rrd_s;
+        chan.next_act_group[g] = now + p.t_rrd_l;
+        chan.recent_acts.push_back(now);
+        chan.next_cmd_at = now + 1;
+        self.dev_stats.activates += 1;
+        self.dev_stats.row_misses += 1;
+        true
+    }
+}
+
+impl MemoryModel for GroupedDramModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn enqueue(&mut self, req: MemRequest) -> Result<(), EnqueueError> {
+        assert!(
+            req.addr < self.params.total_bursts(),
+            "burst address {} out of range ({} bursts)",
+            req.addr,
+            self.params.total_bursts()
+        );
+        match req.kind {
+            AccessKind::Write => {
+                let ok = req
+                    .data
+                    .as_ref()
+                    .is_some_and(|d| d.len() == self.params.burst_bytes());
+                assert!(ok, "write payload must be exactly one burst");
+            }
+            AccessKind::Read => assert!(req.data.is_none(), "read must not carry a payload"),
+        }
+        if self.queued >= self.queue_capacity {
+            self.ctrl_stats.rejected += 1;
+            return Err(EnqueueError {
+                id: req.id,
+                capacity: self.queue_capacity,
+            });
+        }
+        let (ch, bank) = self.decompose(req.addr);
+        self.channels[ch].banks[bank].queue.push_back(QueuedReq {
+            req,
+            enqueued_at: self.now,
+        });
+        self.queued += 1;
+        self.ctrl_stats.accepted += 1;
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Vec<Completion> {
+        self.now += 1;
+        let done = self.collect_completions();
+        let mut issued_any = false;
+        let mut had_work = false;
+        for ch in 0..self.channels.len() {
+            had_work |= self.channels[ch].has_work();
+            issued_any |= self.step_channel(ch);
+        }
+        if issued_any {
+            self.last_progress_at = self.now;
+        } else if had_work {
+            self.ctrl_stats.stall_cycles += 1;
+        } else if self.in_flight.is_empty() {
+            self.ctrl_stats.idle_cycles += 1;
+        }
+        assert!(
+            self.queued == 0 || self.now - self.last_progress_at <= PROGRESS_WINDOW,
+            "{}: no scheduler progress for {PROGRESS_WINDOW} cycles with {} queued",
+            self.name,
+            self.queued
+        );
+        done
+    }
+
+    fn queued_len(&self) -> usize {
+        self.queued
+    }
+
+    fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn storage(&self) -> &SparseStorage {
+        &self.storage
+    }
+
+    fn storage_mut(&mut self) -> &mut SparseStorage {
+        &mut self.storage
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        MemStats {
+            controller: self.ctrl_stats,
+            device: self.dev_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(params: DramParams) -> GroupedDramModel {
+        GroupedDramModel::new("dram", params, 64, false)
+    }
+
+    /// Cycles to fully drain `n` back-to-back reads at the given
+    /// consecutive-address stride (stride chooses bank/group locality).
+    fn drain_reads(params: DramParams, n: u64, stride: u64) -> u64 {
+        let mut m = model(params);
+        for i in 0..n {
+            m.enqueue(MemRequest::read(i, i * stride)).unwrap();
+        }
+        let done = m.drain(1_000_000);
+        assert_eq!(done.len() as u64, n);
+        m.now()
+    }
+
+    #[test]
+    fn presets_validate() {
+        DramParams::ddr4_2400().validate().unwrap();
+        DramParams::hbm2_2gbps().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_relations() {
+        let base = DramParams::ddr4_2400();
+        for (label, bad) in [
+            (
+                "ccd",
+                DramParams {
+                    t_ccd_l: base.t_ccd_s - 1,
+                    ..base
+                },
+            ),
+            (
+                "rrd",
+                DramParams {
+                    t_rrd_l: base.t_rrd_s - 1,
+                    ..base
+                },
+            ),
+            (
+                "wtr",
+                DramParams {
+                    t_wtr_l: base.t_wtr_s - 1,
+                    ..base
+                },
+            ),
+            (
+                "rc",
+                DramParams {
+                    t_rc: base.t_ras + base.t_rp - 1,
+                    ..base
+                },
+            ),
+            (
+                "cwl",
+                DramParams {
+                    cwl: base.cl + 1,
+                    ..base
+                },
+            ),
+            (
+                "refi",
+                DramParams {
+                    t_refi: base.t_rfc,
+                    ..base
+                },
+            ),
+            (
+                "ccd_burst",
+                DramParams {
+                    t_ccd_s: base.burst_cycles() - 1,
+                    t_ccd_l: base.burst_cycles() - 1,
+                    ..base
+                },
+            ),
+            (
+                "groups",
+                DramParams {
+                    bank_groups: 0,
+                    ..base
+                },
+            ),
+        ] {
+            assert!(bad.validate().is_err(), "{label} should be rejected");
+        }
+    }
+
+    #[test]
+    fn same_group_columns_pay_tccd_l() {
+        // One channel, and a stride that keeps every access in bank 0
+        // (same group) vs. consecutive addresses that walk groups.
+        let p = DramParams {
+            channels: 1,
+            ..DramParams::ddr4_2400()
+        };
+        let same_bank = drain_reads(p, 8, u64::from(p.banks_per_channel()) * 4);
+        let spread = drain_reads(p, 8, 1);
+        assert!(
+            spread < same_bank,
+            "group-spread reads ({spread}) should beat same-bank reads ({same_bank})"
+        );
+    }
+
+    #[test]
+    fn cross_group_beats_same_group_at_column_rate() {
+        // Parameter set built to isolate tCCD_L vs tCCD_S: bank cycle
+        // time and ACT spacing are made cheap (tRC/4 < tCCD_S), so the
+        // only difference between rotating 4 banks of ONE group and
+        // 4 banks of FOUR groups is the column-to-column spacing.
+        let p = DramParams {
+            t_rcd: 4,
+            t_rp: 4,
+            t_ras: 8,
+            t_rc: 12,
+            t_ccd_s: 4,
+            t_ccd_l: 12,
+            t_rrd_s: 1,
+            t_rrd_l: 1,
+            t_wtr_s: 1,
+            t_wtr_l: 1,
+            t_rtp: 2,
+            t_faw: 1,
+            channels: 1,
+            ..DramParams::ddr4_2400()
+        };
+        p.validate().unwrap();
+        let bpg = u64::from(p.banks_per_group);
+        let mut same_group = model(p);
+        let mut cross_group = model(p);
+        for i in 0..32u64 {
+            // Rotate banks 0..=3, all in group 0.
+            same_group.enqueue(MemRequest::read(i, i % 4)).unwrap();
+            // Rotate banks 0, bpg, 2*bpg, 3*bpg — one per group.
+            cross_group
+                .enqueue(MemRequest::read(i, (i % 4) * bpg))
+                .unwrap();
+        }
+        same_group.drain(1_000_000);
+        cross_group.drain(1_000_000);
+        // Same-group columns pace at tCCD_L (12), cross-group at
+        // tCCD_S (4): the gap over 32 reads must reflect that.
+        assert!(
+            cross_group.now() + 32 * (p.t_ccd_l - p.t_ccd_s) / 2 < same_group.now(),
+            "cross-group ({}) should beat same-group ({}) by the CCD gap",
+            cross_group.now(),
+            same_group.now()
+        );
+    }
+
+    #[test]
+    fn more_channels_drain_faster() {
+        let hbm = DramParams::hbm2_2gbps();
+        let one_ch = DramParams {
+            channels: 1,
+            rows: hbm.rows * 8,
+            ..hbm
+        };
+        let wide = drain_reads(hbm, 64, 1);
+        let narrow = drain_reads(one_ch, 64, 1);
+        assert!(
+            wide * 2 < narrow,
+            "8 channels ({wide}) should drain far faster than 1 ({narrow})"
+        );
+    }
+
+    #[test]
+    fn write_then_read_returns_written_data() {
+        for p in [DramParams::ddr4_2400(), DramParams::hbm2_2gbps()] {
+            let mut m = model(p);
+            let payload = vec![0x5Au8; p.burst_bytes()];
+            m.enqueue(MemRequest::write(1, 7, payload.clone())).unwrap();
+            m.enqueue(MemRequest::read(2, 7)).unwrap();
+            let done = m.drain(1_000_000);
+            assert_eq!(done.len(), 2);
+            assert_eq!(done[0].id, 1);
+            assert_eq!(done[1].id, 2);
+            assert_eq!(done[1].data.as_deref(), Some(&payload[..]));
+            let s = m.mem_stats();
+            assert_eq!(s.controller.reads_done, 1);
+            assert_eq!(s.controller.writes_done, 1);
+            assert_eq!(s.device.activates, 2);
+            assert_eq!(s.device.precharges, 2);
+        }
+    }
+
+    #[test]
+    fn queue_capacity_applies_back_pressure() {
+        let mut m = GroupedDramModel::new("dram", DramParams::ddr4_2400(), 2, false);
+        m.enqueue(MemRequest::read(1, 0)).unwrap();
+        m.enqueue(MemRequest::read(2, 1)).unwrap();
+        let err = m.enqueue(MemRequest::read(3, 2)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(m.mem_stats().controller.rejected, 1);
+        m.drain(1_000_000);
+        m.enqueue(MemRequest::read(3, 2)).unwrap();
+    }
+
+    #[test]
+    fn refresh_fires_and_blocks() {
+        let mut m = GroupedDramModel::new("dram", DramParams::ddr4_2400(), 64, true);
+        // Idle past one refresh interval: refresh must have issued.
+        let refi = m.params().t_refi;
+        for _ in 0..(refi + m.params().t_rfc + 10) {
+            m.tick();
+        }
+        assert!(m.mem_stats().device.refreshes >= 1);
+        // And the model still serves requests afterwards.
+        m.enqueue(MemRequest::read(1, 0)).unwrap();
+        assert_eq!(m.drain(1_000_000).len(), 1);
+    }
+
+    #[test]
+    fn completions_sorted_by_enqueue_order() {
+        let p = DramParams::hbm2_2gbps();
+        let mut m = model(p);
+        // Same-cycle enqueues across channels: ids must come back in
+        // (enqueued_at, id) order within each tick's batch.
+        for i in 0..32u64 {
+            m.enqueue(MemRequest::read(i, 31 - i)).unwrap();
+        }
+        let done = m.drain(1_000_000);
+        assert_eq!(done.len(), 32);
+        let mut sorted = true;
+        for w in done.windows(2) {
+            if w[0].completed_at == w[1].completed_at
+                && (w[0].enqueued_at, w[0].id) > (w[1].enqueued_at, w[1].id)
+            {
+                sorted = false;
+            }
+        }
+        assert!(sorted, "same-cycle completions out of deterministic order");
+    }
+}

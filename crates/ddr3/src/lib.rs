@@ -31,6 +31,14 @@
 //! 3. [`bus`]: a closed-form DQ-utilization model used to regenerate
 //!    Figure 3, cross-validated against the simulated device.
 //!
+//! On top of the DDR3 reference sits the [`model`] layer: the
+//! object-safe [`MemoryModel`] trait abstracting *any* burst-granular
+//! memory behind the same transactional surface, with alternative
+//! technologies in [`dram`] (bank-grouped DDR4-2400 and multi-channel
+//! HBM2-style models) and [`sram`] (an idealized fixed-latency bound),
+//! selected via [`MemorySpec`]/[`MemoryKind`]. These power the
+//! line-rate headroom study (`BENCH_memory.json`).
+//!
 //! ## Example
 //!
 //! ```
@@ -58,7 +66,10 @@ pub mod bank;
 pub mod bus;
 pub mod controller;
 pub mod device;
+pub mod dram;
 pub mod error;
+pub mod model;
+pub mod sram;
 pub mod stats;
 pub mod storage;
 pub mod timing;
@@ -69,7 +80,10 @@ pub use controller::{
     AccessKind, Completion, ControllerConfig, MemRequest, MemoryController, PagePolicy,
 };
 pub use device::{Command, CommandOutcome, Ddr3Device};
+pub use dram::{DramParams, GroupedDramModel};
 pub use error::{ConfigError, EnqueueError, TimingViolation};
+pub use model::{MemStats, MemoryKind, MemoryModel, MemorySpec};
+pub use sram::{SramModel, SramParams};
 pub use stats::{ControllerStats, DeviceStats};
 pub use storage::SparseStorage;
 pub use timing::{TimingParams, TimingPreset};

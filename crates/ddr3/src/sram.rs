@@ -1,0 +1,355 @@
+//! An idealized fixed-latency SRAM: the upper bound of the line-rate
+//! headroom study.
+//!
+//! The paper's whole design exists because DRAM row activation makes
+//! random bucket access expensive; [`SramModel`] asks the complementary
+//! question — how fast would the *same* pipeline run if every burst
+//! completed in a fixed, short latency with no bank/row/refresh
+//! structure at all? It models a QDR-like part clocked at the system
+//! rate: up to [`SramParams::ports`] requests start per cycle, each
+//! completing exactly `read_latency`/`write_latency` cycles later.
+//! No command scheduling, no refresh, zeroed [`DeviceStats`](crate::stats::DeviceStats) — any gap
+//! between this bound and the DRAM models is attributable to memory
+//! technology, not the pipeline.
+
+use std::collections::VecDeque;
+
+use crate::controller::{AccessKind, Completion, MemRequest};
+use crate::error::{ConfigError, EnqueueError};
+use crate::model::{MemStats, MemoryModel};
+use crate::stats::ControllerStats;
+use crate::storage::SparseStorage;
+
+/// Parameters of the idealized SRAM. Preset:
+/// [`SramParams::ideal_200mhz`]; provenance in DESIGN.md §Calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SramParams {
+    /// Clock period in picoseconds. The SRAM runs at the consumer's
+    /// system clock (`ticks_per_sys` is 1), so this is the system tCK.
+    pub tck_ps: u64,
+    /// Cycles from request start to read data valid.
+    pub read_latency: u64,
+    /// Cycles from request start to write commit.
+    pub write_latency: u64,
+    /// Requests that may start per cycle (QDR-like port count).
+    pub ports: u32,
+    /// Bytes per burst (kept at the DRAM models' 32 B so bucket layout
+    /// is identical across the sweep).
+    pub burst_bytes: usize,
+    /// Burst-aligned capacity.
+    pub total_bursts: u64,
+}
+
+impl SramParams {
+    /// A QDR-IV-like part at the prototype's 200 MHz system clock:
+    /// dual-port (one read + one write per cycle), 8-cycle read
+    /// latency, 512 MB capacity matching the DDR3 prototype.
+    pub fn ideal_200mhz() -> Self {
+        SramParams {
+            tck_ps: 5000,
+            read_latency: 8,
+            write_latency: 4,
+            ports: 2,
+            burst_bytes: 32,
+            total_bursts: 16 * 1024 * 1024,
+        }
+    }
+
+    /// Clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        1.0e6 / self.tck_ps as f64
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the clock period, a latency, the
+    /// port count, the burst size, or the capacity is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tck_ps == 0 {
+            return Err(ConfigError::new("tck_ps must be nonzero"));
+        }
+        if self.read_latency == 0 || self.write_latency == 0 {
+            return Err(ConfigError::new("latencies must be nonzero"));
+        }
+        if self.ports == 0 {
+            return Err(ConfigError::new("ports must be nonzero"));
+        }
+        if self.burst_bytes == 0 {
+            return Err(ConfigError::new("burst_bytes must be nonzero"));
+        }
+        if self.total_bursts == 0 {
+            return Err(ConfigError::new("total_bursts must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+/// A request whose fixed latency is counting down.
+#[derive(Debug)]
+struct InFlight {
+    req: MemRequest,
+    enqueued_at: u64,
+    done_at: u64,
+    data: Option<Vec<u8>>,
+}
+
+/// The idealized fixed-latency SRAM model. Construct via
+/// [`MemorySpec::build`](crate::model::MemorySpec::build) or directly
+/// with [`SramModel::new`].
+#[derive(Debug)]
+pub struct SramModel {
+    params: SramParams,
+    queue_capacity: usize,
+    now: u64,
+    queue: VecDeque<(MemRequest, u64)>,
+    in_flight: Vec<InFlight>,
+    storage: SparseStorage,
+    stats: ControllerStats,
+}
+
+impl SramModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`SramParams::validate`] or
+    /// `queue_capacity` is zero.
+    pub fn new(params: SramParams, queue_capacity: usize) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid SramParams: {e}");
+        }
+        assert!(queue_capacity > 0, "queue_capacity must be nonzero");
+        SramModel {
+            params,
+            queue_capacity,
+            now: 0,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            storage: SparseStorage::new(params.burst_bytes),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The parameter set this model was built from.
+    pub fn params(&self) -> &SramParams {
+        &self.params
+    }
+}
+
+impl MemoryModel for SramModel {
+    fn name(&self) -> &'static str {
+        "sram"
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn enqueue(&mut self, req: MemRequest) -> Result<(), EnqueueError> {
+        assert!(
+            req.addr < self.params.total_bursts,
+            "burst address {} out of range ({} bursts)",
+            req.addr,
+            self.params.total_bursts
+        );
+        match req.kind {
+            AccessKind::Write => {
+                let ok = req
+                    .data
+                    .as_ref()
+                    .is_some_and(|d| d.len() == self.params.burst_bytes);
+                assert!(ok, "write payload must be exactly one burst");
+            }
+            AccessKind::Read => assert!(req.data.is_none(), "read must not carry a payload"),
+        }
+        if self.queue.len() >= self.queue_capacity {
+            self.stats.rejected += 1;
+            return Err(EnqueueError {
+                id: req.id,
+                capacity: self.queue_capacity,
+            });
+        }
+        self.queue.push_back((req, self.now));
+        self.stats.accepted += 1;
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Vec<Completion> {
+        self.now += 1;
+        let now = self.now;
+
+        // Completions due this cycle, in deterministic order.
+        let mut done: Vec<Completion> = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at <= now {
+                let fin = self.in_flight.swap_remove(i);
+                let latency = now - fin.enqueued_at;
+                self.stats.total_latency_cycles += latency;
+                self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(latency);
+                match fin.req.kind {
+                    AccessKind::Read => self.stats.reads_done += 1,
+                    AccessKind::Write => self.stats.writes_done += 1,
+                }
+                done.push(Completion {
+                    id: fin.req.id,
+                    kind: fin.req.kind,
+                    addr: fin.req.addr,
+                    data: fin.data,
+                    enqueued_at: fin.enqueued_at,
+                    completed_at: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|c| (c.enqueued_at, c.id));
+
+        // Start up to `ports` requests, strictly FIFO: data effects
+        // apply at start, so same-address ordering is arrival order.
+        let mut started = 0;
+        while started < self.params.ports {
+            let Some((req, enqueued_at)) = self.queue.pop_front() else {
+                break;
+            };
+            let (data, done_at) = match req.kind {
+                AccessKind::Read => (
+                    Some(self.storage.read_burst(req.addr)),
+                    now + self.params.read_latency,
+                ),
+                AccessKind::Write => {
+                    let payload = req
+                        .data
+                        .as_deref()
+                        .expect("enqueue-validated write carries a payload");
+                    self.storage.write_burst(req.addr, payload);
+                    (None, now + self.params.write_latency)
+                }
+            };
+            self.in_flight.push(InFlight {
+                req,
+                enqueued_at,
+                done_at,
+                data,
+            });
+            started += 1;
+        }
+        if started == 0 && self.queue.is_empty() && self.in_flight.is_empty() {
+            self.stats.idle_cycles += 1;
+        }
+        done
+    }
+
+    fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn storage(&self) -> &SparseStorage {
+        &self.storage
+    }
+
+    fn storage_mut(&mut self) -> &mut SparseStorage {
+        &mut self.storage
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        MemStats {
+            controller: self.stats,
+            ..MemStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_validates() {
+        SramParams::ideal_200mhz().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zeroes() {
+        let base = SramParams::ideal_200mhz();
+        for bad in [
+            SramParams { tck_ps: 0, ..base },
+            SramParams {
+                read_latency: 0,
+                ..base
+            },
+            SramParams {
+                write_latency: 0,
+                ..base
+            },
+            SramParams { ports: 0, ..base },
+            SramParams {
+                burst_bytes: 0,
+                ..base
+            },
+            SramParams {
+                total_bursts: 0,
+                ..base
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn read_latency_is_exact() {
+        let mut m = SramModel::new(SramParams::ideal_200mhz(), 8);
+        m.enqueue(MemRequest::read(1, 0)).unwrap();
+        let done = m.drain(1_000);
+        // Starts on the first tick (cycle 1), completes read_latency later.
+        assert_eq!(done[0].completed_at, 1 + m.params().read_latency);
+        assert_eq!(done[0].latency(), 1 + m.params().read_latency);
+    }
+
+    #[test]
+    fn throughput_is_ports_per_cycle() {
+        let p = SramParams::ideal_200mhz();
+        let mut m = SramModel::new(p, 256);
+        for i in 0..100u64 {
+            m.enqueue(MemRequest::read(i, i)).unwrap();
+        }
+        let done = m.drain(10_000);
+        assert_eq!(done.len(), 100);
+        // 100 requests at 2/cycle start over 50 cycles; the last
+        // completes read_latency after its start.
+        assert_eq!(m.now(), 50 + p.read_latency);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let p = SramParams::ideal_200mhz();
+        let mut m = SramModel::new(p, 8);
+        let payload = vec![0xEEu8; p.burst_bytes];
+        m.enqueue(MemRequest::write(1, 3, payload.clone())).unwrap();
+        m.enqueue(MemRequest::read(2, 3)).unwrap();
+        let done = m.drain(1_000);
+        assert_eq!(done.len(), 2);
+        let read = done.iter().find(|c| c.id == 2).unwrap();
+        assert_eq!(read.data.as_deref(), Some(&payload[..]));
+        let s = m.mem_stats();
+        assert_eq!(s.controller.reads_done, 1);
+        assert_eq!(s.controller.writes_done, 1);
+        assert_eq!(s.device, Default::default());
+    }
+
+    #[test]
+    fn back_pressure_at_capacity() {
+        let mut m = SramModel::new(SramParams::ideal_200mhz(), 1);
+        m.enqueue(MemRequest::read(1, 0)).unwrap();
+        assert!(m.enqueue(MemRequest::read(2, 1)).is_err());
+        m.drain(1_000);
+        m.enqueue(MemRequest::read(2, 1)).unwrap();
+    }
+}

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use flowlut_ddr3::bus::{analytic_utilization, TurnaroundModel};
 use flowlut_ddr3::{
-    AddressMapping, ControllerConfig, Geometry, MemRequest, MemoryController, TimingPreset,
+    AddressMapping, ControllerConfig, DramParams, Geometry, MemRequest, MemoryController,
+    SramParams, TimingPreset,
 };
 
 fn geometry_strategy() -> impl Strategy<Value = Geometry> {
@@ -124,5 +125,83 @@ proptest! {
         prop_assert!(
             analytic_utilization(&t, &small, n) > analytic_utilization(&t, &big, n)
         );
+    }
+
+    /// Perturbing a valid DRAM preset without breaking any ordering
+    /// relation keeps it valid: validation accepts the whole consistent
+    /// neighbourhood, not just the literal presets.
+    #[test]
+    fn consistent_dram_perturbation_stays_valid(
+        hbm in any::<bool>(),
+        ras_pad in 0u64..16,
+        rp_pad in 0u64..8,
+        rc_pad in 0u64..8,
+        ccd_pad in 0u64..4,
+        rrd_pad in 0u64..4,
+        wtr_pad in 0u64..4,
+        refi_pad in 0u64..512,
+    ) {
+        let mut p = if hbm { DramParams::hbm2_2gbps() } else { DramParams::ddr4_2400() };
+        p.t_ras += ras_pad;
+        p.t_rp += rp_pad;
+        p.t_rc = p.t_ras + p.t_rp + rc_pad;
+        p.t_ccd_l = p.t_ccd_s + ccd_pad;
+        p.t_rrd_l = p.t_rrd_s + rrd_pad;
+        p.t_wtr_l = p.t_wtr_s + wtr_pad;
+        p.t_refi = p.t_rfc + 1 + refi_pad;
+        prop_assert!(p.validate().is_ok());
+    }
+
+    /// Each inconsistent DRAM relation is rejected no matter how the
+    /// rest of the parameter set is shifted.
+    #[test]
+    fn inconsistent_dram_params_rejected(
+        violation in 0usize..6,
+        hbm in any::<bool>(),
+        pad in 1u64..64,
+    ) {
+        let mut p = if hbm { DramParams::hbm2_2gbps() } else { DramParams::ddr4_2400() };
+        match violation {
+            0 => p.t_ccd_l = p.t_ccd_s - 1,              // same-group CCD below cross-group
+            1 => p.t_rc = p.t_ras + p.t_rp - pad.min(p.t_ras), // tRC too short for tRAS+tRP
+            2 => p.cwl = p.cl + pad,                     // write latency above read latency
+            3 => p.t_refi = p.t_rfc,                     // refresh interval swallowed by tRFC
+            4 => p.t_rrd_l = p.t_rrd_s - 1,              // same-group RRD below cross-group
+            _ => p.t_ccd_s = p.burst_cycles() - 1,       // column rate faster than the burst
+        }
+        prop_assert!(p.validate().is_err());
+    }
+
+    /// SRAM validation accepts any all-nonzero parameter set and
+    /// rejects every single-field zeroing of it.
+    #[test]
+    fn sram_zeroed_field_rejected(
+        tck_ps in 1u64..20_000,
+        read_latency in 1u64..64,
+        write_latency in 1u64..64,
+        ports in 1u32..8,
+        burst_shift in 0u32..4,
+        total_shift in 10u32..30,
+        zeroed in 0usize..6,
+    ) {
+        let valid = SramParams {
+            tck_ps,
+            read_latency,
+            write_latency,
+            ports,
+            burst_bytes: 32usize << burst_shift,
+            total_bursts: 1u64 << total_shift,
+        };
+        prop_assert!(valid.validate().is_ok());
+        let mut broken = valid;
+        match zeroed {
+            0 => broken.tck_ps = 0,
+            1 => broken.read_latency = 0,
+            2 => broken.write_latency = 0,
+            3 => broken.ports = 0,
+            4 => broken.burst_bytes = 0,
+            _ => broken.total_bursts = 0,
+        }
+        prop_assert!(broken.validate().is_err());
     }
 }

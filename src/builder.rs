@@ -37,7 +37,7 @@ use flowlut_baselines::{
 };
 use flowlut_core::backend::FlowBackend;
 use flowlut_core::{ConfigError, FlowLutSim, HashCamTable, SimConfig, TableConfig};
-use flowlut_ddr3::TimingPreset;
+use flowlut_ddr3::{MemoryKind, MemorySpec, TimingPreset};
 use flowlut_engine::{EngineConfig, ExecutionMode, ShardedFlowLut};
 
 /// The related-work comparators [`Builder::baseline`] can construct,
@@ -91,6 +91,7 @@ pub struct Builder {
     table: Option<TableConfig>,
     sim: Option<SimConfig>,
     timing: Option<TimingPreset>,
+    memory: Option<MemorySpec>,
     shards: Option<usize>,
     threads: Option<usize>,
     input_rate_mhz: Option<f64>,
@@ -119,8 +120,39 @@ impl Builder {
     }
 
     /// DDR3 speed grade of each memory set. Implies a timed backend.
+    /// For other memory technologies use [`memory`](Self::memory);
+    /// combining this with a non-DDR3 memory is rejected at
+    /// [`build`](Self::build) time.
     pub fn timing(mut self, preset: TimingPreset) -> Self {
         self.timing = Some(preset);
+        self
+    }
+
+    /// Memory technology of each lookup path, at that technology's
+    /// calibrated default parameters (DESIGN.md §Calibration). Implies
+    /// a timed backend. `MemoryKind::Ddr3` is the legacy path —
+    /// identical to not calling this at all.
+    ///
+    /// ```
+    /// use flowlut::Builder;
+    /// use flowlut::core::SimConfig;
+    /// use flowlut::ddr3::MemoryKind;
+    ///
+    /// let hbm = Builder::new()
+    ///     .sim_config(SimConfig::test_small())
+    ///     .memory(MemoryKind::Hbm2)
+    ///     .build()?;
+    /// assert_eq!(hbm.name(), "hashcam-sim");
+    /// # Ok::<(), flowlut::core::ConfigError>(())
+    /// ```
+    pub fn memory(self, kind: MemoryKind) -> Self {
+        self.memory_spec(kind.default_spec())
+    }
+
+    /// Memory technology with explicit parameters, for sweeps that
+    /// vary timing/geometry beyond the calibrated defaults.
+    pub fn memory_spec(mut self, spec: MemorySpec) -> Self {
+        self.memory = Some(spec);
         self
     }
 
@@ -195,10 +227,28 @@ impl Builder {
         if let Some(preset) = self.timing {
             cfg.timing = preset.params();
         }
+        if let Some(spec) = self.memory {
+            cfg.memory = spec;
+        }
         if let Some(rate) = self.input_rate_mhz {
             cfg.input_rate_mhz = rate;
         }
         cfg
+    }
+
+    /// Rejects the one ambiguous combination: a DDR3 `TimingPreset`
+    /// next to a memory technology that would ignore it.
+    fn check_timing_memory_conflict(&self) -> Result<(), ConfigError> {
+        if let (Some(_), Some(spec)) = (self.timing, self.memory) {
+            if spec.kind() != MemoryKind::Ddr3 {
+                return Err(ConfigError::new(format!(
+                    "timing presets are DDR3-specific and would be ignored by the \
+                     `{}` memory model: drop .timing(...) or select MemoryKind::Ddr3",
+                    spec.name()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Builds the selected backend behind `Box<dyn FlowBackend>`.
@@ -212,13 +262,14 @@ impl Builder {
         if let Some(kind) = self.baseline {
             if self.shards.is_some()
                 || self.timing.is_some()
+                || self.memory.is_some()
                 || self.sim.is_some()
                 || self.input_rate_mhz.is_some()
                 || self.threads.is_some()
             {
                 return Err(ConfigError::new(
                     "baselines are untimed: they take no \
-                     shards/timing/sim_config/input_rate_mhz/threads",
+                     shards/timing/memory/sim_config/input_rate_mhz/threads",
                 ));
             }
             return Ok(self.build_baseline(kind));
@@ -234,7 +285,9 @@ impl Builder {
                  backends have nothing to parallelise",
             )),
             Some(_) => Ok(Box::new(self.build_sim()?)),
-            None if self.timing.is_some() || self.sim.is_some() => Ok(Box::new(self.build_sim()?)),
+            None if self.timing.is_some() || self.memory.is_some() || self.sim.is_some() => {
+                Ok(Box::new(self.build_sim()?))
+            }
             None => Ok(Box::new(self.build_table()?)),
         }
     }
@@ -257,6 +310,7 @@ impl Builder {
     ///
     /// [`ConfigError`] if the simulator configuration is invalid.
     pub fn build_sim(self) -> Result<FlowLutSim, ConfigError> {
+        self.check_timing_memory_conflict()?;
         let cfg = self.effective_sim_config();
         cfg.validate()?;
         Ok(FlowLutSim::new(cfg))
@@ -273,6 +327,7 @@ impl Builder {
         if self.threads == Some(0) {
             return Err(ConfigError::new("threads must be non-zero"));
         }
+        self.check_timing_memory_conflict()?;
         let shards = self.shards.unwrap_or(2);
         let shard = self.effective_sim_config();
         let mut cfg = EngineConfig::prototype(shards);
@@ -438,6 +493,80 @@ mod tests {
             .is_err());
         assert!(Builder::new().shards(4).threads(0).build().is_err());
         assert!(Builder::new().shards(4).threads(0).build_engine().is_err());
+    }
+
+    #[test]
+    fn memory_kind_selects_the_model() {
+        for kind in MemoryKind::ALL {
+            let sim = Builder::new()
+                .sim_config(SimConfig::test_small())
+                .memory(kind)
+                .build_sim()
+                .unwrap();
+            assert_eq!(sim.config().memory.kind(), kind);
+        }
+        // memory() alone implies a timed backend.
+        let timed = Builder::new()
+            .table(TableConfig::test_small())
+            .memory(MemoryKind::Sram)
+            .build()
+            .unwrap();
+        assert_eq!(timed.name(), "hashcam-sim");
+    }
+
+    #[test]
+    fn memory_threads_through_the_engine() {
+        let engine = Builder::new()
+            .sim_config(SimConfig::test_small())
+            .memory(MemoryKind::Hbm2)
+            .shards(2)
+            .build_engine()
+            .unwrap();
+        assert_eq!(engine.config().shard.memory.kind(), MemoryKind::Hbm2);
+    }
+
+    #[test]
+    fn timing_preset_conflicts_with_non_ddr3_memory() {
+        assert!(Builder::new()
+            .sim_config(SimConfig::test_small())
+            .timing(TimingPreset::Ddr3_1066E)
+            .memory(MemoryKind::Hbm2)
+            .build()
+            .is_err());
+        assert!(Builder::new()
+            .sim_config(SimConfig::test_small())
+            .timing(TimingPreset::Ddr3_1066E)
+            .memory(MemoryKind::Ddr4)
+            .shards(2)
+            .build_engine()
+            .is_err());
+        // DDR3 + a DDR3 preset is the legacy combination: fine.
+        assert!(Builder::new()
+            .sim_config(SimConfig::test_small())
+            .timing(TimingPreset::Ddr3_1066E)
+            .memory(MemoryKind::Ddr3)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn memory_rejected_with_baselines() {
+        assert!(Builder::new()
+            .baseline(BaselineKind::Cuckoo)
+            .memory(MemoryKind::Sram)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_memory_spec_surfaces_as_config_error() {
+        let mut p = flowlut_ddr3::DramParams::ddr4_2400();
+        p.t_ccd_l = 0;
+        assert!(Builder::new()
+            .sim_config(SimConfig::test_small())
+            .memory_spec(MemorySpec::Ddr4(p))
+            .build()
+            .is_err());
     }
 
     #[test]

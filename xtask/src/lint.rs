@@ -426,7 +426,33 @@ fn required_keys(bench: &str) -> &'static [&'static str] {
             "acceptance_applicable",
             "acceptance_threaded_4_shards_ge_1p5x",
         ],
+        "memory" => &[
+            "bench",
+            "mode",
+            "workload",
+            "line_rate_mpps",
+            "results",
+            "verdicts",
+            "acceptance_sram_ge_ddr3",
+        ],
         _ => &["bench", "mode", "results"],
+    }
+}
+
+/// Keys every `results` row must keep, per bench name. All benches
+/// identify shard count and completion total; the memory sweep also
+/// names its model and line-rate verdict per row.
+fn required_row_keys(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "memory" => &[
+            "model",
+            "shards",
+            "mdesc_per_s",
+            "headroom_vs_400gbe",
+            "holds_line_rate",
+            "completed",
+        ],
+        _ => &["shards", "completed"],
     }
 }
 
@@ -464,7 +490,7 @@ pub fn check_bench_schema(path: &str, text: &str) -> Vec<Violation> {
     match doc.get("results") {
         Some(Json::Arr(rows)) if !rows.is_empty() => {
             for (i, row) in rows.iter().enumerate() {
-                for key in ["shards", "completed"] {
+                for key in required_row_keys(&bench) {
                     if row.get(key).is_none() {
                         out.push(violation(
                             path,
@@ -522,7 +548,11 @@ mod tests {
     fn committed_bench_files_pass() {
         // The real committed snapshots must satisfy their own schema.
         let root = env!("CARGO_MANIFEST_DIR");
-        for name in ["BENCH_engine.json", "BENCH_parallel.json"] {
+        for name in [
+            "BENCH_engine.json",
+            "BENCH_parallel.json",
+            "BENCH_memory.json",
+        ] {
             let text = std::fs::read_to_string(format!("{root}/../{name}")).unwrap();
             assert_eq!(check_bench_schema(name, &text), vec![], "{name}");
         }
@@ -622,6 +652,25 @@ mod tests {
                 "acceptance_4_shards_ge_2x"
             ]
         );
+    }
+
+    #[test]
+    fn dropped_memory_schema_key_flagged() {
+        // Seeded violation: a memory snapshot missing its acceptance
+        // key and one per-row verdict key must fail on both counts.
+        let text = r#"{"bench": "memory", "mode": "quick",
+            "workload": {}, "line_rate_mpps": 595.0, "verdicts": {},
+            "results": [{"model": "ddr3", "shards": 1,
+                "mdesc_per_s": 76.1, "headroom_vs_400gbe": 0.13,
+                "completed": 16000}]}"#;
+        let v = check_bench_schema("BENCH_memory.json", text);
+        assert!(v.iter().any(|x| x
+            .msg
+            .contains("missing schema key `acceptance_sram_ge_ddr3`")));
+        assert!(v.iter().any(|x| x
+            .msg
+            .contains("results[0] is missing key `holds_line_rate`")));
+        assert_eq!(v.len(), 2);
     }
 
     #[test]
