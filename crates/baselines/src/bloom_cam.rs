@@ -4,7 +4,7 @@ use flowlut_cam::Cam;
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// Li's collision-free hash table: a single hash memory with
 /// single-entry cells, a Bloom-style occupancy summary kept on chip, and
@@ -62,7 +62,7 @@ impl FlowTable for BloomCamTable {
         "bloom+cam"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         let c = self.cell_of(&key);
         if self.occupied[c] {

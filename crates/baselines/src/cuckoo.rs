@@ -3,7 +3,7 @@
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// A two-table cuckoo hash (Thinh et al., the paper's reference \[7\]).
 ///
@@ -80,7 +80,7 @@ impl FlowTable for CuckooTable {
         "cuckoo"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         let mut cur = key;
         let mut table = 0usize;

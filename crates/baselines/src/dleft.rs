@@ -3,7 +3,7 @@
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// A d-choice hash table: `d` independent sub-tables, insertion into the
 /// least-loaded candidate bucket (ties to the leftmost sub-table — the
@@ -77,7 +77,7 @@ impl FlowTable for DLeftTable {
         "d-left"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         // Read all candidate buckets (parallel in hardware, d probes of
         // bandwidth), pick the least loaded; ties go left.

@@ -43,7 +43,7 @@
 //! t.insert(key)?;
 //! assert!(t.contains(&key));
 //! println!("{} probes so far", t.op_stats().mem_reads);
-//! # Ok::<(), flowlut_baselines::BaselineFullError>(())
+//! # Ok::<(), flowlut_baselines::FullError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,4 +65,4 @@ pub use dleft::DLeftTable;
 pub use one_move::OneMoveTable;
 pub use simul::SimultaneousHashCam;
 pub use single::SingleHashTable;
-pub use traits::{BaselineFullError, FlowTable, OpStats};
+pub use traits::{FlowTable, FullError, OpStats};

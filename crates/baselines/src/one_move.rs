@@ -4,7 +4,7 @@ use flowlut_cam::Cam;
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// The single-move multiple-choice hash table of the paper's reference
 /// \[9\] (Kirsch & Mitzenmacher, "The Power of One Move: Hashing Schemes
@@ -155,7 +155,7 @@ impl FlowTable for OneMoveTable {
         "one-move"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         self.stats.mem_reads += self.hashes.len() as u64;
         if self.try_direct_insert(&key).is_some()

@@ -4,7 +4,7 @@ use flowlut_cam::Cam;
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// The *conventional* Hash-CAM table: identical storage layout to the
 /// paper's scheme (two-choice buckets in two memories plus an overflow
@@ -62,7 +62,7 @@ impl FlowTable for SimultaneousHashCam {
         "simultaneous-hashcam"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         for mem in 0..2 {
             let b = self.bucket_of(mem, &key);

@@ -3,7 +3,7 @@
 use flowlut_hash::{H3Hash, HashFunction};
 use flowlut_traffic::FlowKey;
 
-use crate::traits::{BaselineFullError, FlowTable, OpStats};
+use crate::traits::{FlowTable, FullError, OpStats};
 
 /// A single-hash-function table with `buckets` buckets of `k` slots.
 ///
@@ -48,7 +48,7 @@ impl FlowTable for SingleHashTable {
         "single-hash"
     }
 
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError> {
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError> {
         self.stats.inserts += 1;
         let b = self.bucket_of(&key);
         self.stats.mem_reads += 1; // read-modify-write of the bucket

@@ -15,11 +15,12 @@ use flowlut_traffic::FlowKey;
 
 /// Insertion failed: the structure could not place the key.
 ///
-/// This is the workspace-wide [`FullError`](flowlut_core::backend::FullError),
-/// re-exported under the crate's historical name. It carries the rejected
-/// key and the occupancy at rejection time, so callers can log what
-/// failed and how full the structure was.
-pub use flowlut_core::backend::FullError as BaselineFullError;
+/// This is the workspace-wide [`FullError`](flowlut_core::backend::FullError)
+/// (the historical `BaselineFullError` alias is retired). It carries the
+/// rejected key and the occupancy at rejection time, so callers can log
+/// what failed and how full the structure was; it also folds into the
+/// unified [`FlowError`](flowlut_core::FlowError) hierarchy.
+pub use flowlut_core::backend::FullError;
 
 /// Memory-access accounting: the currency all baselines are compared in.
 ///
@@ -40,13 +41,13 @@ pub trait FlowTable: fmt::Debug {
     ///
     /// # Errors
     ///
-    /// [`BaselineFullError`] if the structure cannot place the key.
+    /// [`FullError`] if the structure cannot place the key.
     /// Inserting a key that is already present is a caller error with
     /// implementation-defined (but memory-safe) behaviour; callers look
     /// up before inserting, as the flow pipeline does (the
     /// [`FlowStore`](flowlut_core::backend::FlowStore)
     /// view does exactly that).
-    fn insert(&mut self, key: FlowKey) -> Result<(), BaselineFullError>;
+    fn insert(&mut self, key: FlowKey) -> Result<(), FullError>;
 
     /// Membership query.
     fn contains(&mut self, key: &FlowKey) -> bool;
@@ -68,10 +69,10 @@ pub trait FlowTable: fmt::Debug {
     /// Memory-access accounting so far.
     fn op_stats(&self) -> OpStats;
 
-    /// Builds the [`BaselineFullError`] for a rejected `key`, capturing
-    /// the structure's name and its occupancy at rejection time.
-    fn full_error(&self, key: FlowKey) -> BaselineFullError {
-        BaselineFullError {
+    /// Builds the [`FullError`] for a rejected `key`, capturing the
+    /// structure's name and its occupancy at rejection time.
+    fn full_error(&self, key: FlowKey) -> FullError {
+        FullError {
             table: self.name(),
             key,
             occupancy: self.len() as u64,
@@ -93,7 +94,7 @@ macro_rules! impl_flow_backend {
                 FlowTable::name(self)
             }
 
-            fn insert(&mut self, key: FlowKey) -> Result<bool, BaselineFullError> {
+            fn insert(&mut self, key: FlowKey) -> Result<bool, FullError> {
                 if FlowTable::contains(self, &key) {
                     return Ok(false);
                 }

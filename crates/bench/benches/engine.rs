@@ -7,7 +7,7 @@
 //! so it stays cheap enough for routine `cargo bench` runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowlut_core::run_session;
+use flowlut_core::FlowPipeline;
 use flowlut_engine::{EngineConfig, ShardedFlowLut};
 use flowlut_traffic::workloads::MatchRateWorkload;
 
@@ -28,7 +28,11 @@ fn run_engine(shards: usize, queries: usize) -> f64 {
     engine.preload(set.preload.iter().copied()).unwrap();
     // The unified streaming session: the same generic driver loop every
     // backend runs under, reporting the backend-agnostic RunReport.
-    run_session(&mut engine, &set.queries).mdesc_per_s
+    engine
+        .start_run()
+        .run(&set.queries)
+        .expect("fresh session")
+        .mdesc_per_s
 }
 
 fn bench_shard_sweep(c: &mut Criterion) {

@@ -140,6 +140,31 @@ impl<K: Eq> Cam<K> {
         }
     }
 
+    /// Places `key` directly into `slot`: the checkpoint-restore path,
+    /// which must reproduce exact slot assignments rather than allocate
+    /// fresh ones. Maintains the free-list ordering invariant and does
+    /// not touch statistics (restore is not a simulated operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description when `slot` is out of range, already
+    /// occupied, or missing from the free list (internal inconsistency).
+    pub fn restore_at(&mut self, slot: usize, key: K) -> Result<(), &'static str> {
+        if slot >= self.capacity() {
+            return Err("CAM slot out of range");
+        }
+        if self.slots[slot].is_some() {
+            return Err("CAM slot already occupied");
+        }
+        let Ok(pos) = self.free.binary_search_by(|probe| slot.cmp(probe)) else {
+            return Err("CAM free list out of sync");
+        };
+        self.free.remove(pos);
+        self.slots[slot] = Some(key);
+        self.len += 1;
+        Ok(())
+    }
+
     /// Removes `key` (lowest matching slot) and returns the slot index.
     pub fn delete(&mut self, key: &K) -> Option<usize> {
         let slot = self.peek(key)?;
@@ -304,5 +329,32 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = Cam::<u8>::new(0);
+    }
+
+    #[test]
+    fn restore_at_reproduces_exact_slots() {
+        let mut cam: Cam<u8> = Cam::new(4);
+        cam.restore_at(2, 30).unwrap();
+        cam.restore_at(0, 10).unwrap();
+        assert_eq!(cam.len(), 2);
+        assert_eq!(cam.peek(&30), Some(2));
+        // Allocation after restore still fills the lowest free slot.
+        assert_eq!(cam.insert(99).unwrap(), 1);
+        // Statistics are untouched by restore — only the live insert
+        // above counted.
+        assert_eq!(cam.stats().inserts, 1);
+        assert_eq!(cam.stats().high_watermark, 3);
+        // Delete/reinsert keeps the free list coherent with restores.
+        cam.delete(&10);
+        assert_eq!(cam.insert(11).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_at_rejects_bad_slots() {
+        let mut cam: Cam<u8> = Cam::new(2);
+        assert!(cam.restore_at(2, 1).is_err(), "out of range");
+        cam.restore_at(1, 1).unwrap();
+        assert!(cam.restore_at(1, 2).is_err(), "occupied");
+        assert_eq!(cam.len(), 1);
     }
 }

@@ -15,22 +15,27 @@
 //! * [`FlowBackend`] — the object-safe capability union: a store that
 //!   *may* expose a pipeline ([`FlowBackend::as_pipeline`]).
 //!
-//! Timed backends are driven through [`run_session`], the one paced
-//! driver loop that the legacy batch entry points (`FlowLutSim::run`,
-//! `ShardedFlowLut::run`) now wrap. Every run produces a [`RunReport`],
-//! the common report both `SimReport` and the engine's report convert
-//! into.
+//! Timed backends are driven through a typed [`Session`] handle opened
+//! by [`FlowPipeline::start_run`] (or [`Session::new`] on a
+//! `&mut dyn FlowPipeline`): `push`/`tick`/`poll`/`drain`/`events` live
+//! on the handle, lifecycle misuse is either a compile error (the
+//! borrow prevents a second concurrent session; [`Session::finish`]
+//! consumes the handle) or a typed [`SessionError`] (push after drain).
+//! Every run produces a [`RunReport`], the common report both
+//! `SimReport` and the engine's report convert into. The free function
+//! [`run_session`] survives as a deprecated shim over the handle.
 //!
 //! ```
-//! use flowlut_core::backend::{run_session, FlowPipeline, RunReport};
+//! use flowlut_core::backend::{FlowPipeline, RunReport};
 //! use flowlut_core::{FlowLutSim, SimConfig};
 //! use flowlut_traffic::{FiveTuple, FlowKey, PacketDescriptor};
 //!
 //! let mut sim = FlowLutSim::new(SimConfig::test_small());
 //! let descs: Vec<PacketDescriptor> =
 //!     PacketDescriptor::sequence((0..50).map(|i| FlowKey::from(FiveTuple::from_index(i))));
-//! let report: RunReport = run_session(&mut sim, &descs);
+//! let report: RunReport = sim.start_run().run(&descs)?;
 //! assert_eq!(report.completed, 50);
+//! # Ok::<(), flowlut_core::backend::SessionError>(())
 //! ```
 
 use std::error::Error;
@@ -223,24 +228,107 @@ pub struct SessionProgress {
     pub occupancy: Occupancy,
 }
 
+/// What happened to a resident flow, as surfaced by the service layer
+/// through [`FlowPipeline::poll_events`] / [`Session::events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowEventKind {
+    /// The flow exceeded the configured idle TTL
+    /// ([`ExpiryPolicy`](crate::config::ExpiryPolicy)) and was removed by
+    /// the amortized aging scan.
+    ExpiredTtl,
+    /// The flow was the coldest candidate when occupancy crossed the
+    /// [`PressurePolicy`](crate::config::PressurePolicy) high-water mark
+    /// and was evicted to the victim list.
+    EvictedPressure,
+}
+
+impl fmt::Display for FlowEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowEventKind::ExpiredTtl => write!(f, "expired (idle TTL)"),
+            FlowEventKind::EvictedPressure => write!(f, "evicted (occupancy pressure)"),
+        }
+    }
+}
+
+/// One flow-lifecycle event (expiry or eviction) raised by a timed
+/// backend. Drained in deterministic order via
+/// [`FlowPipeline::poll_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// What happened to the flow.
+    pub kind: FlowEventKind,
+    /// The affected flow's key.
+    pub key: FlowKey,
+    /// System cycle (of the raising channel) when the event fired.
+    pub now_sys: u64,
+}
+
+/// Lifecycle misuse of a [`Session`] handle that the type system cannot
+/// rule out statically.
+///
+/// Most misuse *is* ruled out statically: a second concurrent session
+/// cannot be opened (the handle holds the `&mut` borrow), and nothing can
+/// be pushed after [`Session::finish`]/[`Session::run`] (they consume the
+/// handle). What remains — interleaving input with an explicit
+/// [`Session::drain`] — is reported as this typed error instead of a
+/// panic or silent misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// `push`/`offer` after `drain`: the session already declared end of
+    /// input.
+    Drained,
+    /// `drain` called twice on one session.
+    AlreadyDrained,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Drained => {
+                write!(
+                    f,
+                    "session already drained: no further input may be offered"
+                )
+            }
+            SessionError::AlreadyDrained => write!(f, "session drained twice"),
+        }
+    }
+}
+
+impl Error for SessionError {}
+
 /// The cycle-stepped streaming capability of the timed backends.
 ///
 /// A session interleaves [`push`](Self::push) (offer one descriptor,
 /// honouring backpressure), [`tick`](Self::tick) (advance one system
 /// cycle), and [`poll`](Self::poll) (observe progress); when input ends,
-/// [`drain`](Self::drain) runs the pipeline dry. [`run_session`] is the
-/// canonical paced driver over exactly these four verbs — the loop the
-/// legacy batch `run` entry points now wrap.
+/// [`drain`](Self::drain) runs the pipeline dry. The typed [`Session`]
+/// handle opened by [`start_run`](Self::start_run) wraps exactly these
+/// verbs with compile-time lifecycle enforcement, and its
+/// [`Session::run`] is the canonical paced driver — the loop the batch
+/// `run` entry points wrap.
 pub trait FlowPipeline: FlowStore {
-    /// Marks the start of a run: resets per-run watermarks (currently
-    /// the [`SimStats::max_latency_sys`] high-water mark) so each run
+    /// Per-run reset hook: clears per-run watermarks (currently the
+    /// [`SimStats::max_latency_sys`] high-water mark) so each run
     /// reports its own worst case instead of the pipeline's lifetime
-    /// worst. [`run_session`] calls this before its first [`poll`]
-    /// (hand-driven sessions should do the same); cumulative counters
-    /// are untouched.
-    ///
-    /// [`poll`]: Self::poll
-    fn start_run(&mut self) {}
+    /// worst. Called by [`Session::new`] when a session opens; cumulative
+    /// counters are untouched. Prefer opening a [`Session`] over calling
+    /// this directly.
+    fn begin_run(&mut self) {}
+
+    /// Opens a typed streaming [`Session`] on this pipeline. The handle
+    /// holds the `&mut` borrow for its lifetime, so a second concurrent
+    /// session is a compile error, and push-after-finish is ruled out by
+    /// move semantics.
+    fn start_run(&mut self) -> Session<'_>
+    where
+        Self: Sized,
+    {
+        Session::new(self)
+    }
 
     /// Offers one descriptor. Returns `false` (leaving the descriptor
     /// untaken, and recording an input-stall in the backend's statistics)
@@ -263,6 +351,14 @@ pub trait FlowPipeline: FlowStore {
 
     /// Observes cumulative progress without advancing time.
     fn poll(&self) -> SessionProgress;
+
+    /// Drains pending flow-lifecycle events (idle-TTL expiries,
+    /// pressure evictions) raised since the previous call, in
+    /// deterministic order. Backends without aging/eviction support
+    /// return an empty vec (the default).
+    fn poll_events(&mut self) -> Vec<FlowEvent> {
+        Vec::new()
+    }
 
     /// Declares end of input and ticks until nothing is staged, queued,
     /// or in flight. Returns the number of cycles spent draining.
@@ -289,6 +385,211 @@ pub trait FlowPipeline: FlowStore {
     /// Number of lockstep channels (1 for single-channel backends).
     fn channels(&self) -> usize {
         1
+    }
+}
+
+/// A typed handle on one streaming run of a [`FlowPipeline`].
+///
+/// Opened by [`FlowPipeline::start_run`] (or [`Session::new`] when
+/// holding a `&mut dyn FlowPipeline`). The handle owns the `&mut`
+/// borrow, so the lifecycle is enforced by the type system:
+///
+/// * **double-start** — a second concurrent session cannot be opened
+///   while the handle lives (borrow check);
+/// * **push-after-finish** — [`finish`](Self::finish)/[`run`](Self::run)
+///   consume the handle (move semantics);
+/// * **push-after-drain** — the one temporal rule the borrow checker
+///   cannot see is a typed [`SessionError`] instead of a panic.
+///
+/// ```
+/// use flowlut_core::backend::FlowPipeline;
+/// use flowlut_core::{FlowLutSim, SimConfig};
+/// use flowlut_traffic::{FiveTuple, FlowKey, PacketDescriptor};
+///
+/// let mut sim = FlowLutSim::new(SimConfig::test_small());
+/// let mut session = sim.start_run();
+/// let desc = PacketDescriptor::new(0, FlowKey::from(FiveTuple::from_index(1)));
+/// while !session.push(desc)? {
+///     session.tick();
+/// }
+/// session.drain()?;
+/// assert!(session.push(desc).is_err(), "push after drain is a typed error");
+/// let report = session.finish();
+/// assert_eq!(report.completed, 1);
+/// # Ok::<(), flowlut_core::backend::SessionError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session<'a> {
+    pipe: &'a mut dyn FlowPipeline,
+    start: SessionProgress,
+    drained: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session: calls [`FlowPipeline::begin_run`] (per-run
+    /// watermark reset) and snapshots the starting progress that the
+    /// final [`RunReport`] is measured against.
+    pub fn new(pipe: &'a mut dyn FlowPipeline) -> Session<'a> {
+        pipe.begin_run();
+        let start = pipe.poll();
+        Session {
+            pipe,
+            start,
+            drained: false,
+        }
+    }
+
+    /// Offers one descriptor. `Ok(false)` means backpressure (the
+    /// descriptor was not taken; retry after a [`tick`](Self::tick)).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Drained`] if the session already declared end of
+    /// input via [`drain`](Self::drain).
+    pub fn push(&mut self, desc: PacketDescriptor) -> Result<bool, SessionError> {
+        if self.drained {
+            return Err(SessionError::Drained);
+        }
+        Ok(self.pipe.push(desc))
+    }
+
+    /// Advances one system-clock cycle.
+    pub fn tick(&mut self) {
+        self.pipe.tick();
+    }
+
+    /// Advances `cycles` system-clock cycles (batched idle advancement).
+    pub fn tick_many(&mut self, cycles: u64) {
+        self.pipe.tick_many(cycles);
+    }
+
+    /// Observes cumulative progress without advancing time.
+    pub fn poll(&self) -> SessionProgress {
+        self.pipe.poll()
+    }
+
+    /// Drains pending flow-lifecycle events (idle-TTL expiries, pressure
+    /// evictions) raised since the previous call, in deterministic order.
+    pub fn events(&mut self) -> Vec<FlowEvent> {
+        self.pipe.poll_events()
+    }
+
+    /// Declares end of input and ticks the pipeline dry. Returns the
+    /// number of cycles spent draining.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::AlreadyDrained`] on a second call.
+    pub fn drain(&mut self) -> Result<u64, SessionError> {
+        if self.drained {
+            return Err(SessionError::AlreadyDrained);
+        }
+        self.drained = true;
+        Ok(self.pipe.drain())
+    }
+
+    /// Offers `descs` at the pipeline's configured input rate, ticking
+    /// every cycle, until all are accepted. This is the paced intake
+    /// loop of the canonical driver; the session stays open for more
+    /// input afterwards.
+    ///
+    /// Pacing: an input-credit accumulator gains
+    /// [`input_rate_per_cycle`](FlowPipeline::input_rate_per_cycle)
+    /// credits per cycle (capped at
+    /// [`burst_cap`](FlowPipeline::burst_cap)); each accepted descriptor
+    /// spends one credit. A rejected push (backpressure) stops this
+    /// cycle's intake; the descriptor is re-offered after the next tick.
+    /// The accumulator does not carry across `offer` calls.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Drained`] if the session already declared end of
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline completes nothing for an implausibly long
+    /// time (a scheduler deadlock — a bug, not a workload condition).
+    pub fn offer(&mut self, descs: &[PacketDescriptor]) -> Result<(), SessionError> {
+        if self.drained {
+            return Err(SessionError::Drained);
+        }
+        let rate = self.pipe.input_rate_per_cycle();
+        let cap = self.pipe.burst_cap();
+        let baseline = self.pipe.poll();
+        let mut next = 0usize;
+        let mut accum = 0.0f64;
+        let mut completed = baseline.stats.completed;
+        let mut last_progress_cycle = baseline.now_sys;
+        let mut cycles = 0u64;
+        // Watchdog sampling period: polling merged statistics is
+        // O(channels) per call, so the deadlock check reads them every so
+        // often rather than every cycle (detection latency is immaterial
+        // against the 2M cycle threshold).
+        const WATCHDOG_PERIOD: u64 = 1024;
+        while next < descs.len() {
+            accum = (accum + rate).min(cap);
+            while accum >= 1.0 && next < descs.len() {
+                if !self.pipe.push(descs[next]) {
+                    break;
+                }
+                next += 1;
+                accum -= 1.0;
+            }
+            self.pipe.tick();
+            cycles += 1;
+            if cycles.is_multiple_of(WATCHDOG_PERIOD) {
+                let p = self.pipe.poll();
+                if p.stats.completed > completed {
+                    completed = p.stats.completed;
+                    last_progress_cycle = p.now_sys;
+                }
+                assert!(
+                    p.now_sys - last_progress_cycle < 2_000_000,
+                    "no completion for 2M cycles with input pending: {} offered, {} in pipeline \
+                     — pipeline deadlock",
+                    next,
+                    p.in_pipeline,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the session: drains the pipeline if not already drained, and
+    /// builds the [`RunReport`] covering everything since the session
+    /// opened. Consumes the handle, so nothing can be pushed afterwards.
+    pub fn finish(mut self) -> RunReport {
+        if !self.drained {
+            self.drained = true;
+            self.pipe.drain();
+        }
+        let end = self.pipe.poll();
+        RunReport::from_progress(
+            self.pipe.name(),
+            self.pipe.channels(),
+            &self.start,
+            &end,
+            self.pipe.sys_period_ns(),
+        )
+    }
+
+    /// The canonical one-shot driver: [`offer`](Self::offer)s all of
+    /// `descs` paced at the configured input rate, then
+    /// [`finish`](Self::finish)es. Batch `run` entry points and benches
+    /// wrap exactly this.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Drained`] if [`drain`](Self::drain) was already
+    /// called on this session.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pipeline deadlock (see [`offer`](Self::offer)).
+    pub fn run(mut self, descs: &[PacketDescriptor]) -> Result<RunReport, SessionError> {
+        self.offer(descs)?;
+        Ok(self.finish())
     }
 }
 
@@ -362,78 +663,28 @@ impl RunReport {
     }
 }
 
-/// Drives one paced streaming session: offers `descs` at the pipeline's
-/// configured input rate, ticks every cycle, drains when input ends, and
-/// reports the run. This is the *one* driver loop behind every batch
-/// entry point, bench, and example; per-backend `run` methods are thin
-/// wrappers over it.
+/// Drives one paced streaming session end to end: offers `descs` at the
+/// pipeline's configured input rate, ticks every cycle, drains when
+/// input ends, and reports the run.
 ///
-/// Pacing: an input-credit accumulator gains
-/// [`input_rate_per_cycle`](FlowPipeline::input_rate_per_cycle) credits
-/// per cycle (capped at [`burst_cap`](FlowPipeline::burst_cap)); each
-/// accepted descriptor spends one credit. A rejected
-/// [`push`](FlowPipeline::push) (backpressure) stops this cycle's intake;
-/// the descriptor is re-offered after the next tick. The accumulator is
-/// per-session: credits do not carry between sessions.
-///
-/// The session opens with [`start_run`](FlowPipeline::start_run), so
-/// per-run watermarks (the max-latency high-water mark) cover this run
-/// alone.
+/// Deprecated shim: exactly equivalent to opening a typed [`Session`]
+/// and calling [`Session::run`] — which is where the canonical paced
+/// driver loop now lives, with compile-time lifecycle enforcement.
 ///
 /// # Panics
 ///
 /// Panics if the pipeline completes nothing for an implausibly long time
 /// (a scheduler deadlock — a bug, not a workload condition).
+#[deprecated(
+    since = "0.2.0",
+    note = "open a typed session instead: `pipe.start_run().run(descs)` \
+            (or `Session::new(pipe).run(descs)` on a `&mut dyn FlowPipeline`)"
+)]
 pub fn run_session(pipe: &mut dyn FlowPipeline, descs: &[PacketDescriptor]) -> RunReport {
-    pipe.start_run();
-    let start = pipe.poll();
-    let rate = pipe.input_rate_per_cycle();
-    let cap = pipe.burst_cap();
-    let mut next = 0usize;
-    let mut accum = 0.0f64;
-    let mut completed = start.stats.completed;
-    let mut last_progress_cycle = start.now_sys;
-    let mut cycles = 0u64;
-    // Watchdog sampling period: polling merged statistics is O(channels)
-    // per call, so the deadlock check reads them every so often rather
-    // than every cycle (detection latency is immaterial against the 2M
-    // cycle threshold).
-    const WATCHDOG_PERIOD: u64 = 1024;
-    while next < descs.len() {
-        accum = (accum + rate).min(cap);
-        while accum >= 1.0 && next < descs.len() {
-            if !pipe.push(descs[next]) {
-                break;
-            }
-            next += 1;
-            accum -= 1.0;
-        }
-        pipe.tick();
-        cycles += 1;
-        if cycles.is_multiple_of(WATCHDOG_PERIOD) {
-            let p = pipe.poll();
-            if p.stats.completed > completed {
-                completed = p.stats.completed;
-                last_progress_cycle = p.now_sys;
-            }
-            assert!(
-                p.now_sys - last_progress_cycle < 2_000_000,
-                "no completion for 2M cycles with input pending: {} offered, {} in pipeline \
-                 — pipeline deadlock",
-                next,
-                p.in_pipeline,
-            );
-        }
+    match Session::new(pipe).run(descs) {
+        Ok(report) => report,
+        Err(_) => unreachable!("a freshly opened session is never drained"),
     }
-    pipe.drain();
-    let end = pipe.poll();
-    RunReport::from_progress(
-        pipe.name(),
-        pipe.channels(),
-        &start,
-        &end,
-        pipe.sys_period_ns(),
-    )
 }
 
 // ---------------------------------------------------------------------

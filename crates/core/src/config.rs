@@ -48,6 +48,88 @@ pub enum FullTablePolicy {
     EvictIdlest,
 }
 
+/// Engine-level flow aging: expire flows idle longer than a TTL,
+/// found by an amortized incremental scan driven from `tick` (a few
+/// records per cycle — never a stop-the-world epoch).
+///
+/// Expired flows are deleted through the simulator's normal delete path
+/// (so the DRAM bucket rewrite is modelled), counted in
+/// `SimStats::expired_ttl`, and surfaced as
+/// [`FlowEvent`](crate::backend::FlowEvent)s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExpiryPolicy {
+    /// A flow whose last touch is more than this many system cycles in
+    /// the past is expired.
+    pub idle_timeout_cycles: u64,
+    /// Resident-flow records examined per system cycle by the
+    /// incremental scan. Larger strides find idle flows sooner at more
+    /// bookkeeping work per cycle.
+    pub scan_stride: usize,
+}
+
+impl ExpiryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the timeout or stride is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.idle_timeout_cycles == 0 {
+            return Err(ConfigError::new(
+                "expiry idle_timeout_cycles must be non-zero",
+            ));
+        }
+        if self.scan_stride == 0 {
+            return Err(ConfigError::new("expiry scan_stride must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+/// Occupancy-pressure eviction: when overflow-CAM occupancy reaches a
+/// high-water mark, evict the coldest (least-recently-touched) scanned
+/// flow to a bounded victim list instead of letting the table run into
+/// hard `FullError` rejections.
+///
+/// Victims keep their accounting record (retrievable via
+/// `FlowLutSim::take_victims`), are counted in
+/// `SimStats::pressure_evicted`, and are surfaced as
+/// [`FlowEvent`](crate::backend::FlowEvent)s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PressurePolicy {
+    /// Evict while at least this many entries sit in the overflow CAM
+    /// (the structure whose fill predicts imminent insert failure).
+    pub cam_high_water: u32,
+    /// Records examined per eviction decision; the coldest of the batch
+    /// is evicted (approximate LRU).
+    pub scan_batch: usize,
+    /// Bound on the victim list; when full, the oldest victim record is
+    /// discarded.
+    pub victim_cap: usize,
+}
+
+impl PressurePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any knob is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cam_high_water == 0 {
+            return Err(ConfigError::new("pressure cam_high_water must be non-zero"));
+        }
+        if self.scan_batch == 0 {
+            return Err(ConfigError::new("pressure scan_batch must be non-zero"));
+        }
+        if self.victim_cap == 0 {
+            return Err(ConfigError::new("pressure victim_cap must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of [`FlowLutSim`](crate::sim::FlowLutSim).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -106,6 +188,11 @@ pub struct SimConfig {
     /// byte-identical to the pre-trait behaviour; the other variants
     /// carry their own parameters and ignore those legacy fields.
     pub memory: MemorySpec,
+    /// Engine-level idle-TTL flow aging (`None` disables it — the
+    /// default, preserving bounded-run behaviour bit-for-bit).
+    pub expiry: Option<ExpiryPolicy>,
+    /// Occupancy-pressure eviction (`None` disables it — the default).
+    pub pressure: Option<PressurePolicy>,
 }
 
 impl Default for SimConfig {
@@ -135,6 +222,8 @@ impl Default for SimConfig {
             max_in_flight: 256,
             full_table_policy: FullTablePolicy::Drop,
             memory: MemorySpec::Ddr3,
+            expiry: None,
+            pressure: None,
         }
     }
 }
@@ -264,6 +353,12 @@ impl SimConfig {
                 return Err(ConfigError::new("path_a_permille must be <= 1000"));
             }
         }
+        if let Some(p) = &self.expiry {
+            p.validate()?;
+        }
+        if let Some(p) = &self.pressure {
+            p.validate()?;
+        }
         Ok(())
     }
 }
@@ -356,6 +451,52 @@ mod tests {
         p.t_ccd_l = 0;
         c.memory = MemorySpec::Ddr4(p);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zeroed_lifecycle_policies_rejected() {
+        let mut c = SimConfig::test_small();
+        c.expiry = Some(ExpiryPolicy {
+            idle_timeout_cycles: 0,
+            scan_stride: 4,
+        });
+        assert!(c.validate().is_err());
+        c.expiry = Some(ExpiryPolicy {
+            idle_timeout_cycles: 100,
+            scan_stride: 0,
+        });
+        assert!(c.validate().is_err());
+        c.expiry = Some(ExpiryPolicy {
+            idle_timeout_cycles: 100,
+            scan_stride: 4,
+        });
+        c.validate().unwrap();
+        for bad in [
+            PressurePolicy {
+                cam_high_water: 0,
+                scan_batch: 4,
+                victim_cap: 16,
+            },
+            PressurePolicy {
+                cam_high_water: 2,
+                scan_batch: 0,
+                victim_cap: 16,
+            },
+            PressurePolicy {
+                cam_high_water: 2,
+                scan_batch: 4,
+                victim_cap: 0,
+            },
+        ] {
+            c.pressure = Some(bad);
+            assert!(c.validate().is_err(), "{bad:?}");
+        }
+        c.pressure = Some(PressurePolicy {
+            cam_high_water: 2,
+            scan_batch: 4,
+            victim_cap: 16,
+        });
+        c.validate().unwrap();
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! the record store (NetFlow-style counters) and [`FlowStateStore::expire_idle`]
 //! implements the timeout scan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use flowlut_traffic::FlowKey;
 
@@ -23,6 +24,9 @@ pub struct FlowRecord {
     pub first_seen_ns: u64,
     /// Timestamp of the most recent packet (ns).
     pub last_seen_ns: u64,
+    /// System cycle of the most recent packet — the recency stamp the
+    /// TTL-expiry scan and pressure eviction compare against.
+    pub last_touch_sys: u64,
     /// Packets observed.
     pub packets: u64,
     /// Layer-1 bytes observed.
@@ -31,11 +35,12 @@ pub struct FlowRecord {
 
 impl FlowRecord {
     /// Creates a record from the flow's first packet.
-    pub fn first_packet(key: FlowKey, now_ns: u64, frame_bytes: u64) -> Self {
+    pub fn first_packet(key: FlowKey, now_ns: u64, now_sys: u64, frame_bytes: u64) -> Self {
         FlowRecord {
             key,
             first_seen_ns: now_ns,
             last_seen_ns: now_ns,
+            last_touch_sys: now_sys,
             packets: 1,
             bytes: frame_bytes,
         }
@@ -46,9 +51,10 @@ impl FlowRecord {
     /// # Panics
     ///
     /// Panics (debug only) if time runs backwards.
-    pub fn update(&mut self, now_ns: u64, frame_bytes: u64) {
+    pub fn update(&mut self, now_ns: u64, now_sys: u64, frame_bytes: u64) {
         debug_assert!(now_ns >= self.last_seen_ns, "time ran backwards");
         self.last_seen_ns = now_ns;
+        self.last_touch_sys = now_sys;
         self.packets += 1;
         self.bytes += frame_bytes;
     }
@@ -65,9 +71,14 @@ impl FlowRecord {
 }
 
 /// The per-flow record store, addressed by [`FlowId`].
+///
+/// Records live in a `BTreeMap` so iteration order is deterministic and
+/// the incremental expiry/pressure scans can resume from a [`FlowId`]
+/// cursor in O(log n) ([`FlowStateStore::scan_after`]). The ID space is
+/// capacity-bounded (packed table/CAM locations), so cursors stay dense.
 #[derive(Debug, Default)]
 pub struct FlowStateStore {
-    records: HashMap<FlowId, FlowRecord>,
+    records: BTreeMap<FlowId, FlowRecord>,
 }
 
 impl FlowStateStore {
@@ -92,10 +103,31 @@ impl FlowStateStore {
     ///
     /// Panics if `id` already has a record (the flow table must not remint
     /// a live ID — this guards invariant 2 of DESIGN.md).
-    pub fn on_new_flow(&mut self, id: FlowId, key: FlowKey, now_ns: u64, frame_bytes: u64) {
-        let prev = self
-            .records
-            .insert(id, FlowRecord::first_packet(key, now_ns, frame_bytes));
+    pub fn on_new_flow(
+        &mut self,
+        id: FlowId,
+        key: FlowKey,
+        now_ns: u64,
+        now_sys: u64,
+        frame_bytes: u64,
+    ) {
+        let prev = self.records.insert(
+            id,
+            FlowRecord::first_packet(key, now_ns, now_sys, frame_bytes),
+        );
+        assert!(prev.is_none(), "flow ID {id} reused while record live");
+    }
+
+    /// Installs a pre-existing record under a (possibly new) ID — the
+    /// restore/rescale path, which must preserve the record's counters
+    /// and timestamps instead of minting a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` already has a record, like
+    /// [`on_new_flow`](Self::on_new_flow).
+    pub fn adopt(&mut self, id: FlowId, record: FlowRecord) {
+        let prev = self.records.insert(id, record);
         assert!(prev.is_none(), "flow ID {id} reused while record live");
     }
 
@@ -105,11 +137,11 @@ impl FlowStateStore {
     ///
     /// Panics if `id` has no record (a hit on an ID that was never
     /// created means table and state store diverged).
-    pub fn on_packet(&mut self, id: FlowId, now_ns: u64, frame_bytes: u64) {
+    pub fn on_packet(&mut self, id: FlowId, now_ns: u64, now_sys: u64, frame_bytes: u64) {
         self.records
             .get_mut(&id)
             .unwrap_or_else(|| panic!("no record for {id}"))
-            .update(now_ns, frame_bytes);
+            .update(now_ns, now_sys, frame_bytes);
     }
 
     /// The record for `id`, if any.
@@ -160,9 +192,31 @@ impl FlowStateStore {
         out
     }
 
-    /// Iterates over live `(id, record)` pairs.
+    /// Iterates over live `(id, record)` pairs in ascending ID order.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowRecord)> {
         self.records.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// One step of an incremental scan: up to `stride` records strictly
+    /// after `cursor` (from the start when `cursor` is `None`), in ID
+    /// order, plus the cursor to resume from. A returned cursor of
+    /// `None` means the scan reached the end and should wrap around.
+    pub fn scan_after(
+        &self,
+        cursor: Option<FlowId>,
+        stride: usize,
+    ) -> (Vec<(FlowId, FlowRecord)>, Option<FlowId>) {
+        let range = match cursor {
+            Some(c) => self.records.range((Bound::Excluded(c), Bound::Unbounded)),
+            None => self.records.range(..),
+        };
+        let out: Vec<(FlowId, FlowRecord)> = range.take(stride).map(|(&id, r)| (id, *r)).collect();
+        let next = if out.len() < stride {
+            None
+        } else {
+            out.last().map(|(id, _)| *id)
+        };
+        (out, next)
     }
 }
 
@@ -182,21 +236,23 @@ mod tests {
 
     #[test]
     fn record_accumulates() {
-        let mut r = FlowRecord::first_packet(key(1), 1000, 72);
-        r.update(2000, 100);
-        r.update(5000, 72);
+        let mut r = FlowRecord::first_packet(key(1), 1000, 200, 72);
+        r.update(2000, 400, 100);
+        r.update(5000, 1000, 72);
         assert_eq!(r.packets, 3);
         assert_eq!(r.bytes, 244);
         assert_eq!(r.duration_ns(), 4000);
         assert_eq!(r.idle_ns(6000), 1000);
+        assert_eq!(r.last_touch_sys, 1000);
     }
 
     #[test]
     fn store_lifecycle() {
         let mut s = FlowStateStore::new();
-        s.on_new_flow(fid(1), key(1), 0, 72);
-        s.on_packet(fid(1), 10, 72);
+        s.on_new_flow(fid(1), key(1), 0, 0, 72);
+        s.on_packet(fid(1), 10, 2, 72);
         assert_eq!(s.get(fid(1)).unwrap().packets, 2);
+        assert_eq!(s.get(fid(1)).unwrap().last_touch_sys, 2);
         assert_eq!(s.len(), 1);
         let r = s.remove(fid(1)).unwrap();
         assert_eq!(r.packets, 2);
@@ -206,9 +262,9 @@ mod tests {
     #[test]
     fn expire_removes_only_idle() {
         let mut s = FlowStateStore::new();
-        s.on_new_flow(fid(1), key(1), 0, 72); // idle since 0
-        s.on_new_flow(fid(2), key(2), 0, 72);
-        s.on_packet(fid(2), 9_000, 72); // refreshed
+        s.on_new_flow(fid(1), key(1), 0, 0, 72); // idle since 0
+        s.on_new_flow(fid(2), key(2), 0, 0, 72);
+        s.on_packet(fid(2), 9_000, 1_800, 72); // refreshed
         let expired = s.expire_idle(10_000, 5_000);
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].0, fid(1));
@@ -220,7 +276,7 @@ mod tests {
     fn expire_is_deterministic_order() {
         let mut s = FlowStateStore::new();
         for i in (0..10).rev() {
-            s.on_new_flow(fid(i), key(u64::from(i)), 0, 72);
+            s.on_new_flow(fid(i), key(u64::from(i)), 0, 0, 72);
         }
         let expired = s.expire_idle(1_000_000, 1);
         let ids: Vec<FlowId> = expired.iter().map(|(id, _)| *id).collect();
@@ -231,17 +287,55 @@ mod tests {
     }
 
     #[test]
+    fn scan_after_walks_in_strides_and_signals_wraparound() {
+        let mut s = FlowStateStore::new();
+        for i in 0..7 {
+            s.on_new_flow(fid(i), key(u64::from(i)), 0, 0, 72);
+        }
+        let (batch, cur) = s.scan_after(None, 3);
+        assert_eq!(
+            batch.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![fid(0), fid(1), fid(2)]
+        );
+        assert_eq!(cur, Some(fid(2)));
+        let (batch, cur) = s.scan_after(cur, 3);
+        assert_eq!(
+            batch.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![fid(3), fid(4), fid(5)]
+        );
+        let (batch, cur) = s.scan_after(cur, 3);
+        assert_eq!(batch.len(), 1, "tail batch");
+        assert_eq!(batch[0].0, fid(6));
+        assert_eq!(cur, None, "end of keyspace wraps the cursor");
+        let (batch, _) = s.scan_after(None, 100);
+        assert_eq!(batch.len(), 7);
+    }
+
+    #[test]
+    fn adopt_preserves_counters() {
+        let mut s = FlowStateStore::new();
+        let mut r = FlowRecord::first_packet(key(5), 100, 20, 72);
+        r.update(900, 180, 1500);
+        s.adopt(fid(5), r);
+        let got = s.get(fid(5)).unwrap();
+        assert_eq!(got.packets, 2);
+        assert_eq!(got.bytes, 1572);
+        assert_eq!(got.first_seen_ns, 100);
+        assert_eq!(got.last_touch_sys, 180);
+    }
+
+    #[test]
     #[should_panic(expected = "reused while record live")]
     fn double_create_panics() {
         let mut s = FlowStateStore::new();
-        s.on_new_flow(fid(1), key(1), 0, 72);
-        s.on_new_flow(fid(1), key(2), 1, 72);
+        s.on_new_flow(fid(1), key(1), 0, 0, 72);
+        s.on_new_flow(fid(1), key(2), 1, 1, 72);
     }
 
     #[test]
     #[should_panic(expected = "no record for")]
     fn packet_for_unknown_id_panics() {
         let mut s = FlowStateStore::new();
-        s.on_packet(fid(9), 0, 72);
+        s.on_packet(fid(9), 0, 0, 72);
     }
 }

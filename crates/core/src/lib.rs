@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -64,12 +65,15 @@ pub mod sim;
 pub mod sync;
 pub mod table;
 
+#[allow(deprecated)]
+pub use backend::run_session;
 pub use backend::{
-    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
-    SessionProgress,
+    FlowBackend, FlowEvent, FlowEventKind, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    Session, SessionError, SessionProgress,
 };
-pub use config::{LoadBalancerPolicy, SimConfig};
-pub use error::{ConfigError, InsertError, PreloadError};
+pub use checkpoint::CheckpointError;
+pub use config::{ExpiryPolicy, LoadBalancerPolicy, PressurePolicy, SimConfig};
+pub use error::{ConfigError, FlowError, InsertError, PreloadError, RescaleError};
 pub use fid::{FlowId, Location, PathId};
 pub use flow_state::{FlowRecord, FlowStateStore};
 pub use multipath::{MultiHashConfig, MultiHashStats, MultiHashTable, MultiLocation};

@@ -34,14 +34,15 @@ use flowlut_ddr3::{AccessKind, Completion, MemRequest, MemStats};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
 use crate::backend::{
-    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
-    SessionProgress,
+    FlowBackend, FlowEvent, FlowEventKind, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    Session, SessionProgress,
 };
+use crate::checkpoint::{self, ByteReader, ByteWriter, CheckpointError, Fnv64};
 use crate::codec;
 use crate::config::{FullTablePolicy, LoadBalancerPolicy, SimConfig};
 use crate::error::{InsertError, PreloadError};
 use crate::fid::{FlowId, Location, PathId};
-use crate::flow_state::FlowStateStore;
+use crate::flow_state::{FlowRecord, FlowStateStore};
 use crate::table::{HashCamTable, Occupancy};
 
 /// A lookup read waiting in a DLU.
@@ -67,6 +68,18 @@ enum DelReq {
     /// processing time (the flow may have received traffic since the
     /// scan).
     Expire(FlowKey),
+    /// TTL-expiry nominated by the incremental [`ExpiryPolicy`] scan:
+    /// re-validated in *cycle* time at processing (the flow may have
+    /// been touched since the scan stride visited it).
+    ///
+    /// [`ExpiryPolicy`]: crate::config::ExpiryPolicy
+    ExpireTtl(FlowKey),
+    /// Pressure eviction nominated by the [`PressurePolicy`] scan when
+    /// CAM occupancy crossed the high-water mark; the victim's record is
+    /// preserved on the bounded victim list.
+    ///
+    /// [`PressurePolicy`]: crate::config::PressurePolicy
+    Evict(FlowKey),
     /// Unconditional user deletion (the Figure 2 "Flow delete" input).
     User(FlowKey),
 }
@@ -153,6 +166,18 @@ pub struct FlowLutSim {
     // Update unit.
     ins_q: VecDeque<usize>,
     del_q: VecDeque<DelReq>,
+    // Flow-lifecycle layer (all inert unless the policies are set).
+    /// Resume point of the incremental TTL scan (`None` = start over).
+    expiry_cursor: Option<FlowId>,
+    /// Resume point of the pressure scan.
+    pressure_cursor: Option<FlowId>,
+    /// Keys with a queued lifecycle deletion, so repeated scan passes
+    /// don't grow `del_q` without bound.
+    lifecycle_pending: HashSet<FlowKey>,
+    /// Bounded list of pressure-eviction victims awaiting collection.
+    victims: VecDeque<FlowRecord>,
+    /// Bounded queue of lifecycle events awaiting [`FlowPipeline::poll_events`].
+    events: VecDeque<FlowEvent>,
     // Descriptor slab and memory bookkeeping.
     descs: Vec<DescState>,
     mem_tags: HashMap<u64, MemTag>,
@@ -196,6 +221,11 @@ impl FlowLutSim {
             in_flight: 0,
             ins_q: VecDeque::new(),
             del_q: VecDeque::new(),
+            expiry_cursor: None,
+            pressure_cursor: None,
+            lifecycle_pending: HashSet::new(),
+            victims: VecDeque::new(),
+            events: VecDeque::new(),
             descs: Vec::new(),
             mem_tags: HashMap::new(),
             assemblies: HashMap::new(),
@@ -274,7 +304,7 @@ impl FlowLutSim {
             {
                 touched[path.index()].insert(bucket);
             }
-            self.flow_state.on_new_flow(fid, key, 0, 0);
+            self.flow_state.on_new_flow(fid, key, 0, self.now_sys, 0);
             n += 1;
         }
         // Flush even on failure: the keys accepted so far must be
@@ -354,9 +384,9 @@ impl FlowLutSim {
     /// returns the performance report. Completes when every offered
     /// descriptor has resolved.
     ///
-    /// *Deprecated path*: this batch entry point is a thin wrapper over
-    /// the streaming session API ([`run_session`] driving this simulator
-    /// as a [`FlowPipeline`]) and is kept for the paper-artefact binaries
+    /// This batch entry point is a thin wrapper over the streaming
+    /// session API (a [`Session`] driving this simulator as a
+    /// [`FlowPipeline`]) and is kept for the paper-artefact binaries
     /// that need the rich [`SimReport`]. New code should prefer the
     /// session API, whose [`RunReport`] is comparable across backends;
     /// `tests/session_equivalence.rs` pins that both paths report
@@ -369,7 +399,11 @@ impl FlowLutSim {
     pub fn run(&mut self, descs: &[PacketDescriptor]) -> SimReport {
         let start_cycle = self.now_sys;
         let start_stats = self.stats;
-        let _ = run_session(self, descs);
+        let session = Session::new(self);
+        match session.run(descs) {
+            Ok(_) => {}
+            Err(_) => unreachable!("a freshly opened session is never drained"),
+        }
         self.report(start_cycle, &start_stats, descs.len() as u64)
     }
 
@@ -447,6 +481,10 @@ impl FlowLutSim {
         {
             self.housekeeping();
         }
+        // 3b. Flow-lifecycle scans (inert unless the policies are set):
+        //     amortized incremental strides, never a stop-the-world walk.
+        self.expiry_scan();
+        self.pressure_scan();
         // 4. Update unit (Req_Arb: one deletion, one insertion per cycle).
         self.process_delete();
         self.process_insert();
@@ -594,9 +632,9 @@ impl FlowLutSim {
         let frame = u64::from(self.descs[desc].desc.frame_bytes);
         if let Some(fid) = fid {
             if via.is_new_flow() {
-                self.flow_state.on_new_flow(fid, key, now_ns, frame);
+                self.flow_state.on_new_flow(fid, key, now_ns, now, frame);
             } else {
-                self.flow_state.on_packet(fid, now_ns, frame);
+                self.flow_state.on_packet(fid, now_ns, now, frame);
             }
         }
         self.in_flight -= 1;
@@ -744,11 +782,142 @@ impl FlowLutSim {
         }
     }
 
+    /// One stride of the incremental TTL scan ([`ExpiryPolicy`]): visits
+    /// up to `scan_stride` records per cycle in ID order and nominates
+    /// the cycle-idle ones for deletion. Nominations are re-validated by
+    /// the update unit, so a flow touched between scan and processing
+    /// survives.
+    ///
+    /// [`ExpiryPolicy`]: crate::config::ExpiryPolicy
+    fn expiry_scan(&mut self) {
+        let Some(policy) = self.cfg.expiry else {
+            return;
+        };
+        let (batch, next) = self
+            .flow_state
+            .scan_after(self.expiry_cursor, policy.scan_stride);
+        self.expiry_cursor = next;
+        for (_, record) in batch {
+            if self.now_sys.saturating_sub(record.last_touch_sys) <= policy.idle_timeout_cycles {
+                continue;
+            }
+            if self.inflight_keys.contains(&record.key)
+                || self.lifecycle_pending.contains(&record.key)
+            {
+                continue;
+            }
+            self.lifecycle_pending.insert(record.key);
+            self.del_q.push_back(DelReq::ExpireTtl(record.key));
+        }
+    }
+
+    /// One batch of the occupancy-pressure scan ([`PressurePolicy`]):
+    /// while CAM occupancy sits at or above the high-water mark, walk
+    /// `scan_batch` records per cycle and nominate the coldest for
+    /// eviction onto the bounded victim list — graceful degradation
+    /// instead of a hard `TableFull`.
+    ///
+    /// [`PressurePolicy`]: crate::config::PressurePolicy
+    fn pressure_scan(&mut self) {
+        let Some(policy) = self.cfg.pressure else {
+            return;
+        };
+        if self.table.occupancy().cam < u64::from(policy.cam_high_water) {
+            return;
+        }
+        let (batch, next) = self
+            .flow_state
+            .scan_after(self.pressure_cursor, policy.scan_batch);
+        self.pressure_cursor = next;
+        let coldest = batch
+            .into_iter()
+            .filter(|(_, r)| {
+                !self.inflight_keys.contains(&r.key) && !self.lifecycle_pending.contains(&r.key)
+            })
+            .min_by_key(|(id, r)| (r.last_touch_sys, id.raw()));
+        if let Some((_, record)) = coldest {
+            self.lifecycle_pending.insert(record.key);
+            self.del_q.push_back(DelReq::Evict(record.key));
+        }
+    }
+
+    /// Queues a lifecycle event for [`FlowPipeline::poll_events`],
+    /// dropping the oldest when the bounded queue is full (an unpolled
+    /// long run must not grow memory without bound).
+    fn push_event(&mut self, kind: FlowEventKind, key: FlowKey) {
+        const EVENT_QUEUE_CAP: usize = 4096;
+        if self.events.len() >= EVENT_QUEUE_CAP {
+            self.events.pop_front();
+        }
+        self.events.push_back(FlowEvent {
+            kind,
+            key,
+            now_sys: self.now_sys,
+        });
+    }
+
+    /// Takes the accumulated pressure-eviction victims (oldest first),
+    /// leaving the list empty. The list is bounded by
+    /// [`PressurePolicy::victim_cap`](crate::config::PressurePolicy) —
+    /// when full, the oldest victim record is discarded.
+    pub fn take_victims(&mut self) -> Vec<FlowRecord> {
+        self.victims.drain(..).collect()
+    }
+
     fn process_delete(&mut self) {
         let Some(req) = self.del_q.pop_front() else {
             return;
         };
         let key = match req {
+            DelReq::ExpireTtl(key) => {
+                self.lifecycle_pending.remove(&key);
+                let Some(policy) = self.cfg.expiry else {
+                    return;
+                };
+                // Re-validate in cycle time: the flow may have been
+                // touched (or completed against) since the scan stride.
+                if self.inflight_keys.contains(&key) {
+                    return;
+                }
+                let Some(fid) = self.table.peek(&key) else {
+                    return; // already gone
+                };
+                match self.flow_state.get(fid) {
+                    Some(r)
+                        if self.now_sys.saturating_sub(r.last_touch_sys)
+                            > policy.idle_timeout_cycles => {}
+                    _ => return, // re-activated or record already gone
+                }
+                self.stats.expired_ttl += 1;
+                self.push_event(FlowEventKind::ExpiredTtl, key);
+                key
+            }
+            DelReq::Evict(key) => {
+                self.lifecycle_pending.remove(&key);
+                let Some(policy) = self.cfg.pressure else {
+                    return;
+                };
+                if self.inflight_keys.contains(&key) {
+                    return;
+                }
+                let Some(fid) = self.table.peek(&key) else {
+                    return;
+                };
+                // Pressure may have eased since the nomination.
+                if self.table.occupancy().cam < u64::from(policy.cam_high_water) {
+                    return;
+                }
+                let Some(record) = self.flow_state.get(fid).copied() else {
+                    return;
+                };
+                if self.victims.len() >= policy.victim_cap {
+                    self.victims.pop_front();
+                }
+                self.victims.push_back(record);
+                self.stats.pressure_evicted += 1;
+                self.push_event(FlowEventKind::EvictedPressure, key);
+                key
+            }
             DelReq::Expire(key) => {
                 // Re-validate: the flow may have received traffic (or a
                 // same-key descriptor may be in flight) since the scan.
@@ -1009,6 +1178,304 @@ impl FlowLutSim {
     }
 }
 
+/// Magic bytes of a single-channel simulator checkpoint ("FLUT" LE).
+const SIM_CHECKPOINT_MAGIC: u32 = 0x54554C46;
+/// Current checkpoint format version.
+const SIM_CHECKPOINT_VERSION: u32 = 1;
+
+/// FNV-1a digest over the behaviour-relevant configuration, recorded in
+/// checkpoints so a restore into a mismatched configuration fails loudly.
+fn sim_config_digest(cfg: &SimConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(u64::from(cfg.table.buckets_per_mem));
+    h.write_u64(u64::from(cfg.table.entries_per_bucket));
+    h.write_u64(cfg.table.cam_capacity as u64);
+    h.write_u64(cfg.table.entry_slot_bytes as u64);
+    h.write_u64(cfg.table.hash_seed);
+    h.write_bytes(cfg.memory.name().as_bytes());
+    h.write_u64(u64::from(cfg.mem_ticks_per_sys()));
+    h.write_u64(cfg.sys_period_ns().to_bits());
+    h.finish()
+}
+
+impl FlowLutSim {
+    /// `true` when nothing is queued, staged, batched, or in flight —
+    /// the state [`checkpoint`](Self::checkpoint) requires.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_pipeline() == 0
+            && self.del_q.is_empty()
+            && self.mem_tags.is_empty()
+            && self.paths.iter().all(|p| {
+                p.read_q.is_empty()
+                    && p.write_q.is_empty()
+                    && p.pending_write_buckets.is_empty()
+                    && p.bwr_pending.is_empty()
+            })
+    }
+
+    /// Drains the pipeline and then keeps ticking until every internal
+    /// queue (update unit, BWr_Gen batches, outstanding memory requests)
+    /// has settled. Returns the cycles spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queues fail to settle in an implausibly long time
+    /// (a scheduler deadlock — a bug, not a workload condition).
+    pub fn quiesce(&mut self) -> u64 {
+        let start = self.now_sys;
+        if self.in_pipeline() > 0 {
+            FlowPipeline::drain(self);
+        }
+        let mut guard = 0u64;
+        while !self.is_quiescent() {
+            FlowLutSim::tick(self);
+            guard += 1;
+            assert!(
+                guard < 2_000_000,
+                "internal queues did not settle for 2M cycles — quiesce deadlock"
+            );
+        }
+        self.now_sys - start
+    }
+
+    /// Rebuilds both memory controllers in the *canonical* phase for the
+    /// current cycle: a fresh controller idle-ticked to `now_sys`, with
+    /// the storage re-flushed from the functional table.
+    ///
+    /// Controller-internal device state (refresh countdowns, bus
+    /// turnaround history) is traffic-dependent and not serializable
+    /// through the object-safe [`MemoryModel`] trait; instead both the
+    /// live side (at checkpoint) and the restored side rebuild this
+    /// canonical phase, so the two are bit-identical by construction.
+    /// Requires quiescence (no outstanding requests may be dropped).
+    fn canonicalize_memory(&mut self) {
+        debug_assert!(self.is_quiescent());
+        let ticks = self.now_sys * u64::from(self.mem_ticks_per_sys);
+        for p in 0..2 {
+            let mut ctrl = self.cfg.build_memory();
+            for _ in 0..ticks {
+                let done = ctrl.tick();
+                debug_assert!(done.is_empty(), "idle controller completed a request");
+            }
+            self.paths[p].ctrl = ctrl;
+        }
+        let mut touched: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for (_, loc) in self.table.iter() {
+            if let Location::Mem { path, bucket, .. } = loc {
+                touched[path.index()].push(bucket);
+            }
+        }
+        for (p, buckets) in touched.iter_mut().enumerate() {
+            buckets.sort_unstable();
+            buckets.dedup();
+            for &bucket in buckets.iter() {
+                self.write_bucket_to_storage(p, bucket);
+            }
+        }
+    }
+
+    /// Serializes a consistent checkpoint of this (quiescent) simulator.
+    ///
+    /// The checkpoint captures resident placements, per-flow records,
+    /// cumulative statistics, lifecycle cursors/victims/events, and the
+    /// load-balancer PRNG state; [`restore`](Self::restore) rebuilds an
+    /// instance whose replay is bit-identical to continuing this one
+    /// (`tests/checkpoint_restore.rs`). As a side effect the live
+    /// instance's memory controllers are re-phased canonically — a
+    /// behaviour-preserving normalization that makes live and restored
+    /// instances indistinguishable.
+    ///
+    /// Not captured: completed-descriptor history
+    /// ([`descriptors`](Self::descriptors)) and table/CAM
+    /// micro-statistics, which do not influence future behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotQuiescent`] unless [`quiesce`](Self::quiesce)
+    /// (or a drained, settled pipeline) came first.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        if !self.is_quiescent() {
+            return Err(CheckpointError::NotQuiescent {
+                in_pipeline: self.in_pipeline(),
+            });
+        }
+        self.canonicalize_memory();
+        let k = self.cfg.table.entries_per_bucket;
+        let mut w = ByteWriter::new();
+        w.put_u32(SIM_CHECKPOINT_MAGIC);
+        w.put_u32(SIM_CHECKPOINT_VERSION);
+        w.put_u64(sim_config_digest(&self.cfg));
+        w.put_u64(self.now_sys);
+        w.put_u32(self.lb_acc);
+        w.put_u64(self.next_mem_id);
+        w.put_u64(self.next_asm_id as u64);
+        w.put_u64(self.last_completion_cycle);
+        checkpoint::write_stats(&mut w, &self.stats);
+        // Resident placements, sorted by encoded ID for a canonical
+        // byte stream (the table iterates in hash-map order).
+        let mut placements: Vec<(FlowKey, Location)> = self.table.iter().collect();
+        placements.sort_by_key(|&(_, loc)| FlowId::encode(loc, k).raw());
+        w.put_u64(placements.len() as u64);
+        for &(key, loc) in &placements {
+            checkpoint::write_location(&mut w, loc);
+            checkpoint::write_key(&mut w, &key);
+        }
+        // Per-flow records (BTreeMap order is already canonical).
+        w.put_u64(self.flow_state.len() as u64);
+        for (id, record) in self.flow_state.iter() {
+            checkpoint::write_location(&mut w, id.decode(k));
+            checkpoint::write_record(&mut w, record);
+        }
+        // Lifecycle scan cursors.
+        for cursor in [self.expiry_cursor, self.pressure_cursor] {
+            match cursor {
+                Some(id) => {
+                    w.put_u8(1);
+                    checkpoint::write_location(&mut w, id.decode(k));
+                }
+                None => w.put_u8(0),
+            }
+        }
+        // Pending victims and events.
+        w.put_u64(self.victims.len() as u64);
+        for record in &self.victims {
+            checkpoint::write_record(&mut w, record);
+        }
+        w.put_u64(self.events.len() as u64);
+        for event in &self.events {
+            w.put_u8(match event.kind {
+                FlowEventKind::ExpiredTtl => 0,
+                FlowEventKind::EvictedPressure => 1,
+            });
+            checkpoint::write_key(&mut w, &event.key);
+            w.put_u64(event.now_sys);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuilds a simulator from a [`checkpoint`](Self::checkpoint) blob.
+    ///
+    /// `cfg` must describe the same behaviour-relevant configuration the
+    /// checkpoint was taken under (guarded by an FNV digest); lifecycle
+    /// policies may differ — they are re-read from `cfg`, so a restore
+    /// can e.g. tighten the TTL.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on a malformed blob or mismatched `cfg`.
+    pub fn restore(cfg: SimConfig, bytes: &[u8]) -> Result<FlowLutSim, CheckpointError> {
+        cfg.validate()
+            .map_err(|_| CheckpointError::Corrupt("invalid configuration"))?;
+        let mut r = ByteReader::new(bytes);
+        if r.u32()? != SIM_CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SIM_CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let found = r.u64()?;
+        let expected = sim_config_digest(&cfg);
+        if found != expected {
+            return Err(CheckpointError::ConfigMismatch { expected, found });
+        }
+        let table_cfg = cfg.table;
+        let k = table_cfg.entries_per_bucket;
+        let mut sim = FlowLutSim::new(cfg);
+        sim.now_sys = r.u64()?;
+        sim.lb_acc = r.u32()?;
+        sim.next_mem_id = r.u64()?;
+        sim.next_asm_id = usize::try_from(r.u64()?)
+            .map_err(|_| CheckpointError::Corrupt("assembly counter overflow"))?;
+        sim.last_completion_cycle = r.u64()?;
+        sim.stats = checkpoint::read_stats(&mut r)?;
+        if sim.stats.offered != sim.stats.completed {
+            return Err(CheckpointError::Corrupt("checkpointed mid-pipeline"));
+        }
+        let placements = r.u64()?;
+        for _ in 0..placements {
+            let loc = checkpoint::read_location(&mut r, &table_cfg)?;
+            let key = checkpoint::read_key(&mut r)?;
+            sim.table
+                .restore_at(key, loc)
+                .map_err(CheckpointError::Corrupt)?;
+        }
+        let records = r.u64()?;
+        for _ in 0..records {
+            let loc = checkpoint::read_location(&mut r, &table_cfg)?;
+            let record = checkpoint::read_record(&mut r)?;
+            let fid = FlowId::encode(loc, k);
+            if sim.flow_state.get(fid).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate flow record"));
+            }
+            sim.flow_state.adopt(fid, record);
+        }
+        let mut cursors = [None, None];
+        for cursor in &mut cursors {
+            *cursor = match r.u8()? {
+                0 => None,
+                1 => Some(FlowId::encode(
+                    checkpoint::read_location(&mut r, &table_cfg)?,
+                    k,
+                )),
+                _ => return Err(CheckpointError::Corrupt("unknown cursor tag")),
+            };
+        }
+        sim.expiry_cursor = cursors[0];
+        sim.pressure_cursor = cursors[1];
+        let victims = r.u64()?;
+        for _ in 0..victims {
+            let record = checkpoint::read_record(&mut r)?;
+            sim.victims.push_back(record);
+        }
+        let events = r.u64()?;
+        for _ in 0..events {
+            let kind = match r.u8()? {
+                0 => FlowEventKind::ExpiredTtl,
+                1 => FlowEventKind::EvictedPressure,
+                _ => return Err(CheckpointError::Corrupt("unknown event tag")),
+            };
+            let key = checkpoint::read_key(&mut r)?;
+            let now_sys = r.u64()?;
+            sim.events.push_back(FlowEvent { kind, key, now_sys });
+        }
+        r.finish()?;
+        sim.canonicalize_memory();
+        Ok(sim)
+    }
+
+    /// Builds an *empty* simulator already advanced to `now_sys`, with
+    /// its memory controllers in the canonical phase for that cycle —
+    /// the starting point for rescale destination shards, which adopt
+    /// flows at the cycle the drained source shards stopped at.
+    pub fn warm_start(cfg: SimConfig, now_sys: u64) -> FlowLutSim {
+        let mut sim = FlowLutSim::new(cfg);
+        sim.now_sys = now_sys;
+        sim.last_completion_cycle = now_sys;
+        sim.canonicalize_memory();
+        sim
+    }
+
+    /// Adopts a migrating flow: inserts `record.key` through the
+    /// functional table (fresh placement under *this* instance's
+    /// geometry), flushes the touched bucket to storage, and installs
+    /// the preserved record under the new ID — the rescale rehoming
+    /// primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError`] when the key is already resident or the table is
+    /// full.
+    pub fn adopt_flow(&mut self, record: FlowRecord) -> Result<FlowId, InsertError> {
+        let fid = self.table.insert(record.key)?;
+        if let Location::Mem { path, bucket, .. } = fid.decode(self.cfg.table.entries_per_bucket) {
+            self.write_bucket_to_storage(path.index(), bucket);
+        }
+        self.flow_state.adopt(fid, record);
+        Ok(fid)
+    }
+}
+
 /// Backend name of the single-channel timed simulator, shared by the
 /// [`FlowStore`] impl and the [`SimReport`] → [`RunReport`] conversion.
 pub(crate) const SIM_BACKEND_NAME: &str = "hashcam-sim";
@@ -1126,7 +1593,7 @@ impl FlowStore for FlowLutSim {
 }
 
 impl FlowPipeline for FlowLutSim {
-    fn start_run(&mut self) {
+    fn begin_run(&mut self) {
         self.stats.max_latency_sys = 0;
     }
 
@@ -1154,6 +1621,10 @@ impl FlowPipeline for FlowLutSim {
             in_pipeline: self.in_pipeline(),
             occupancy: self.table.occupancy(),
         }
+    }
+
+    fn poll_events(&mut self) -> Vec<FlowEvent> {
+        self.events.drain(..).collect()
     }
 
     fn drain(&mut self) -> u64 {

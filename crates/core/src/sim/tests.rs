@@ -575,3 +575,249 @@ fn preload_partial_failure_reports_inserted_count() {
     assert_eq!(report.stats.inserted_mem + report.stats.inserted_cam, 0);
     assert_eq!(sim.table().len(), 2);
 }
+
+// ---------------------------------------------------------------------
+// Flow lifecycle: TTL expiry, pressure eviction, checkpoint/restore.
+// ---------------------------------------------------------------------
+
+use crate::backend::{FlowEventKind, FlowPipeline};
+use crate::checkpoint::CheckpointError;
+use crate::config::{ExpiryPolicy, PressurePolicy};
+
+#[test]
+fn ttl_expiry_removes_idle_flows_and_raises_events() {
+    let mut cfg = SimConfig::test_small();
+    cfg.expiry = Some(ExpiryPolicy {
+        idle_timeout_cycles: 500,
+        scan_stride: 4,
+    });
+    let mut sim = FlowLutSim::new(cfg);
+    sim.run(&descs(0..6));
+    assert_eq!(sim.table().len(), 6);
+    // Idle well past the timeout: the incremental scan must find and
+    // expire every flow.
+    for _ in 0..3_000 {
+        sim.tick();
+    }
+    assert_eq!(sim.stats().expired_ttl, 6);
+    assert_eq!(sim.table().len(), 0);
+    assert!(sim.flow_state().is_empty());
+    let events = FlowPipeline::poll_events(&mut sim);
+    assert_eq!(events.len(), 6);
+    assert!(events
+        .iter()
+        .all(|e| e.kind == FlowEventKind::ExpiredTtl && e.now_sys > 500));
+    // A second poll drains nothing new.
+    assert!(FlowPipeline::poll_events(&mut sim).is_empty());
+}
+
+#[test]
+fn ttl_expiry_spares_recently_touched_flows() {
+    let mut cfg = SimConfig::test_small();
+    cfg.expiry = Some(ExpiryPolicy {
+        idle_timeout_cycles: 800,
+        scan_stride: 4,
+    });
+    let mut sim = FlowLutSim::new(cfg);
+    sim.run(&descs(0..4));
+    // Keep key 0 warm with periodic traffic while the others idle out.
+    for round in 0u64..6 {
+        for _ in 0..500 {
+            sim.tick();
+        }
+        sim.run(&[PacketDescriptor::new(round, key(0))]);
+    }
+    assert_eq!(sim.stats().expired_ttl, 3, "{:?}", sim.stats());
+    assert!(
+        sim.table().peek(&key(0)).is_some(),
+        "warm flow must survive"
+    );
+    for i in 1..4 {
+        assert!(sim.table().peek(&key(i)).is_none(), "idle flow {i} kept");
+    }
+}
+
+#[test]
+fn expiry_scan_is_amortized_not_stop_the_world() {
+    // With a stride of 1 and many flows, at most one expiry nomination
+    // can happen per cycle — the scan never walks the whole table at
+    // once.
+    let mut cfg = SimConfig::test_small();
+    cfg.expiry = Some(ExpiryPolicy {
+        idle_timeout_cycles: 100,
+        scan_stride: 1,
+    });
+    let mut sim = FlowLutSim::new(cfg);
+    sim.run(&descs(0..20));
+    let t0 = sim.now_sys();
+    let mut last = sim.stats().expired_ttl;
+    let mut per_cycle_max = 0u64;
+    for _ in 0..5_000 {
+        sim.tick();
+        let now = sim.stats().expired_ttl;
+        per_cycle_max = per_cycle_max.max(now - last);
+        last = now;
+    }
+    assert_eq!(sim.stats().expired_ttl, 20);
+    assert!(
+        per_cycle_max <= 1,
+        "stride-1 scan expired {per_cycle_max}/cycle"
+    );
+    assert!(sim.now_sys() > t0 + 20, "expiries spread over many cycles");
+}
+
+#[test]
+fn pressure_eviction_sheds_coldest_flows_to_victim_list() {
+    // A tiny table whose CAM fills quickly: every key collides into one
+    // bucket pair, so keys 2.. land in the CAM.
+    let mut cfg = SimConfig::test_small();
+    cfg.table.buckets_per_mem = 1;
+    cfg.table.entries_per_bucket = 1;
+    cfg.table.cam_capacity = 8;
+    cfg.pressure = Some(PressurePolicy {
+        cam_high_water: 4,
+        scan_batch: 8,
+        victim_cap: 16,
+    });
+    let mut sim = FlowLutSim::new(cfg);
+    // 2 keys land in memory, the rest spill to the CAM, crossing the
+    // high-water mark mid-run — the scan starts shedding immediately.
+    sim.run(&descs(0..8));
+    for _ in 0..2_000 {
+        sim.tick();
+    }
+    let evicted = sim.stats().pressure_evicted;
+    assert!(evicted > 0, "{:?}", sim.stats());
+    // Eviction stops once occupancy falls back below the mark.
+    assert!(sim.table().occupancy().cam < 4);
+    let victims = sim.take_victims();
+    assert_eq!(victims.len() as u64, evicted);
+    assert!(sim.take_victims().is_empty(), "take drains the list");
+    let events = FlowPipeline::poll_events(&mut sim);
+    assert!(events
+        .iter()
+        .any(|e| e.kind == FlowEventKind::EvictedPressure));
+}
+
+#[test]
+fn pressure_eviction_respects_victim_cap() {
+    let mut cfg = SimConfig::test_small();
+    cfg.table.buckets_per_mem = 1;
+    cfg.table.entries_per_bucket = 1;
+    cfg.table.cam_capacity = 16;
+    cfg.pressure = Some(PressurePolicy {
+        cam_high_water: 1,
+        scan_batch: 8,
+        victim_cap: 3,
+    });
+    let mut sim = FlowLutSim::new(cfg);
+    sim.run(&descs(0..14));
+    for _ in 0..20_000 {
+        sim.tick();
+    }
+    let evicted = sim.stats().pressure_evicted;
+    assert!(evicted > 3, "want enough evictions to overflow the cap");
+    let victims = sim.take_victims();
+    assert_eq!(victims.len(), 3, "victim list bounded at the cap");
+    // Oldest were discarded: the survivors are the most recent victims.
+    assert!(victims
+        .windows(2)
+        .all(|w| w[0].last_seen_ns <= w[1].last_seen_ns));
+}
+
+#[test]
+fn checkpoint_requires_quiescence() {
+    let mut sim = FlowLutSim::new(SimConfig::test_small());
+    sim.offer_batch(&descs(0..8));
+    let err = sim.checkpoint().unwrap_err();
+    assert!(matches!(err, CheckpointError::NotQuiescent { .. }), "{err}");
+    sim.quiesce();
+    assert!(sim.checkpoint().is_ok());
+}
+
+#[test]
+fn checkpoint_restore_roundtrip_preserves_state() {
+    let mut cfg = SimConfig::test_small();
+    cfg.expiry = Some(ExpiryPolicy {
+        idle_timeout_cycles: 100_000,
+        scan_stride: 4,
+    });
+    let mut sim = FlowLutSim::new(cfg.clone());
+    sim.run(&descs(0..40));
+    sim.quiesce();
+    let blob = sim.checkpoint().unwrap();
+    let restored = FlowLutSim::restore(cfg, &blob).unwrap();
+    assert_eq!(restored.now_sys(), sim.now_sys());
+    assert_eq!(restored.stats(), sim.stats());
+    assert_eq!(restored.table().len(), sim.table().len());
+    for i in 0..40 {
+        assert_eq!(restored.table().peek(&key(i)), sim.table().peek(&key(i)));
+    }
+    assert_eq!(restored.snapshot(), sim.snapshot());
+}
+
+#[test]
+fn checkpoint_restore_replay_is_bit_identical() {
+    // The core warm-restart guarantee at sim level: continuing the live
+    // instance and continuing the restored instance produce identical
+    // reports and snapshots on the same tail workload.
+    let cfg = SimConfig::test_small();
+    let mut live = FlowLutSim::new(cfg.clone());
+    live.run(&descs(0..30));
+    live.quiesce();
+    let blob = live.checkpoint().unwrap();
+    let mut restored = FlowLutSim::restore(cfg, &blob).unwrap();
+
+    let tail: Vec<PacketDescriptor> = descs(15..45);
+    let a = live.run(&tail);
+    let b = restored.run(&tail);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "reports diverged");
+    assert_eq!(live.snapshot(), restored.snapshot(), "state diverged");
+}
+
+#[test]
+fn restore_rejects_mismatched_config_and_garbage() {
+    let cfg = SimConfig::test_small();
+    let mut sim = FlowLutSim::new(cfg.clone());
+    sim.run(&descs(0..5));
+    sim.quiesce();
+    let blob = sim.checkpoint().unwrap();
+
+    let mut other = cfg.clone();
+    other.table.hash_seed ^= 1;
+    assert!(matches!(
+        FlowLutSim::restore(other, &blob),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    assert!(matches!(
+        FlowLutSim::restore(cfg.clone(), &blob[..blob.len() - 1]),
+        Err(CheckpointError::Truncated)
+    ));
+    assert!(matches!(
+        FlowLutSim::restore(cfg, b"not a checkpoint blob"),
+        Err(CheckpointError::BadMagic) | Err(CheckpointError::Truncated)
+    ));
+}
+
+#[test]
+fn adopt_flow_rehomes_a_record_under_new_geometry() {
+    let mut source = FlowLutSim::new(SimConfig::test_small());
+    source.run(&descs(0..10));
+    source.quiesce();
+    let records: Vec<FlowRecord> = source.flow_state().iter().map(|(_, r)| *r).collect();
+    assert_eq!(records.len(), 10);
+
+    let mut dest = FlowLutSim::warm_start(SimConfig::test_small(), source.now_sys());
+    assert_eq!(dest.now_sys(), source.now_sys());
+    for r in &records {
+        dest.adopt_flow(*r).unwrap();
+    }
+    assert_eq!(dest.table().len(), 10);
+    // Adopted flows hit — with per-flow history intact.
+    let report = dest.run(&descs(0..10));
+    let s = report.stats;
+    assert_eq!(s.cam_hits + s.lu1_hits + s.lu2_hits, 10, "{s:?}");
+    for (_, r) in dest.flow_state().iter() {
+        assert!(r.packets >= 2, "preserved packet count plus the re-hit");
+    }
+}

@@ -115,6 +115,12 @@ pub struct SimStats {
     pub housekeeping_expired: u64,
     /// Flows evicted by the full-table policy.
     pub evictions: u64,
+    /// Flows expired by the incremental idle-TTL scan
+    /// (`SimConfig::expiry`).
+    pub expired_ttl: u64,
+    /// Flows evicted to the victim list by occupancy pressure
+    /// (`SimConfig::pressure`).
+    pub pressure_evicted: u64,
     /// Sum of admission→completion latency over completed descriptors,
     /// in system cycles.
     pub total_latency_sys: u64,
@@ -157,6 +163,8 @@ impl SimStats {
             deletes: self.deletes - earlier.deletes,
             housekeeping_expired: self.housekeeping_expired - earlier.housekeeping_expired,
             evictions: self.evictions - earlier.evictions,
+            expired_ttl: self.expired_ttl - earlier.expired_ttl,
+            pressure_evicted: self.pressure_evicted - earlier.pressure_evicted,
             total_latency_sys: self.total_latency_sys - earlier.total_latency_sys,
             max_latency_sys: self.max_latency_sys,
         }
@@ -218,6 +226,8 @@ impl SimStats {
         self.deletes += other.deletes;
         self.housekeeping_expired += other.housekeeping_expired;
         self.evictions += other.evictions;
+        self.expired_ttl += other.expired_ttl;
+        self.pressure_evicted += other.pressure_evicted;
         self.total_latency_sys += other.total_latency_sys;
         self.max_latency_sys = self.max_latency_sys.max(other.max_latency_sys);
     }

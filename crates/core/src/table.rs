@@ -577,6 +577,43 @@ impl HashCamTable {
         None
     }
 
+    /// Places `key` at an exact `location`: the checkpoint-restore path.
+    ///
+    /// Bypasses hashing and statistics — the caller guarantees the
+    /// placement came from an identically configured table, so the
+    /// bucket pair would hash the same anyway; validation here is purely
+    /// structural (bounds, double occupancy).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description when the location is out of range or
+    /// already occupied.
+    pub fn restore_at(&mut self, key: FlowKey, loc: Location) -> Result<FlowId, &'static str> {
+        match loc {
+            Location::Cam(slot) => {
+                self.cam.restore_at(slot as usize, key)?;
+            }
+            Location::Mem { path, bucket, slot } => {
+                if bucket >= self.cfg.buckets_per_mem {
+                    return Err("bucket index out of range");
+                }
+                if slot >= self.cfg.entries_per_bucket {
+                    return Err("bucket slot out of range");
+                }
+                let k = usize::from(self.cfg.entries_per_bucket);
+                let slots = self.mems[path.index()]
+                    .entry(bucket)
+                    .or_insert_with(|| vec![None; k]);
+                if slots[usize::from(slot)].is_some() {
+                    return Err("bucket slot already occupied");
+                }
+                slots[usize::from(slot)] = Some(key);
+                self.mem_counts[path.index()] += 1;
+            }
+        }
+        Ok(FlowId::encode(loc, self.cfg.entries_per_bucket))
+    }
+
     /// The slots of a bucket (all-`None` for never-touched buckets).
     pub fn bucket_slots(&self, path: PathId, bucket: u32) -> Bucket {
         self.mems[path.index()]
@@ -862,5 +899,45 @@ mod tests {
         let c = TableConfig::prototype_8m();
         assert_eq!(c.capacity(), (1 << 23) + 1024);
         assert_eq!(c.bursts_per_bucket(32), 1);
+    }
+
+    #[test]
+    fn restore_at_rebuilds_identical_placements() {
+        let mut live = table();
+        for i in 0..20 {
+            let _ = live.insert(key(i));
+        }
+        let mut placements: Vec<(FlowKey, Location)> = live.iter().collect();
+        placements.sort_by_key(|&(_, loc)| FlowId::encode(loc, 2).raw());
+
+        let mut restored = table();
+        for &(k, loc) in &placements {
+            let fid = restored.restore_at(k, loc).expect("placement valid");
+            assert_eq!(fid, FlowId::encode(loc, 2));
+        }
+        assert_eq!(restored.occupancy().total(), live.occupancy().total());
+        for (k, loc) in placements {
+            assert_eq!(restored.peek(&k), Some(FlowId::encode(loc, 2)));
+        }
+        // Double restore at the same location is rejected.
+        let (k0, loc0) = restored.iter().next().expect("non-empty");
+        assert!(restored.restore_at(k0, loc0).is_err());
+    }
+
+    #[test]
+    fn restore_at_rejects_out_of_range() {
+        let mut t = table();
+        let bad_bucket = Location::Mem {
+            path: PathId::A,
+            bucket: t.config().buckets_per_mem,
+            slot: 0,
+        };
+        assert!(t.restore_at(key(1), bad_bucket).is_err());
+        let bad_slot = Location::Mem {
+            path: PathId::B,
+            bucket: 0,
+            slot: t.config().entries_per_bucket,
+        };
+        assert!(t.restore_at(key(1), bad_slot).is_err());
     }
 }

@@ -5,11 +5,14 @@ use std::collections::VecDeque;
 use std::ops::Deref;
 
 use flowlut_core::backend::{
-    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    FlowBackend, FlowEvent, FlowPipeline, FlowStore, FullError, OpStats, RunReport, Session,
     SessionProgress,
 };
+use flowlut_core::checkpoint::{self, ByteReader, ByteWriter, CheckpointError};
 use flowlut_core::sync::{Arc, Mutex, MutexGuard};
-use flowlut_core::{FlowLutSim, Occupancy, PreloadError, SimSnapshot, SimStats};
+use flowlut_core::{
+    FlowLutSim, FlowRecord, Occupancy, PreloadError, RescaleError, SimSnapshot, SimStats,
+};
 use flowlut_traffic::{FlowKey, PacketDescriptor};
 
 use crate::config::{EngineConfig, ExecutionMode};
@@ -198,6 +201,24 @@ pub struct ShardedFlowLut {
     /// End-of-input declared ([`FlowPipeline::drain`] in progress):
     /// staged batches flush regardless of the batch threshold.
     draining: bool,
+    /// Counters accumulated by lanes that no longer exist (retired by
+    /// [`rescale_double`](Self::rescale_double)), so engine-level
+    /// statistics stay cumulative and monotone across rescales.
+    carried_stats: SimStats,
+}
+
+/// Outcome of an online shard rescale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RescaleReport {
+    /// Shard count before the rescale.
+    pub old_shards: usize,
+    /// Shard count after the rescale.
+    pub new_shards: usize,
+    /// Flows rehomed onto the new shard set.
+    pub migrated_flows: u64,
+    /// Cycles spent draining and settling the old shards before the
+    /// migration.
+    pub drained_cycles: u64,
 }
 
 impl ShardedFlowLut {
@@ -210,11 +231,24 @@ impl ShardedFlowLut {
     /// [`EngineConfig::validate`] first for fallible handling.
     pub fn new(cfg: EngineConfig) -> Self {
         cfg.validate().expect("invalid engine configuration");
+        let sims: Vec<FlowLutSim> = (0..cfg.shards)
+            .map(|_| FlowLutSim::new(cfg.shard.clone()))
+            .collect();
+        Self::assemble(cfg, sims)
+    }
+
+    /// Wires pre-built shard simulators into a full engine (router,
+    /// lanes, worker pool) — the shared tail of [`new`](Self::new),
+    /// [`restore`](Self::restore), and
+    /// [`rescale_double`](Self::rescale_double).
+    fn assemble(cfg: EngineConfig, sims: Vec<FlowLutSim>) -> Self {
+        debug_assert_eq!(sims.len(), cfg.shards);
         let router = ShardRouter::new(cfg.shards, cfg.router_seed);
-        let lanes: Vec<Arc<Mutex<ShardLane>>> = (0..cfg.shards)
-            .map(|_| {
+        let lanes: Vec<Arc<Mutex<ShardLane>>> = sims
+            .into_iter()
+            .map(|sim| {
                 Arc::new(Mutex::new(ShardLane {
-                    sim: FlowLutSim::new(cfg.shard.clone()),
+                    sim,
                     staging: VecDeque::new(),
                     staged_first_cycle: None,
                 }))
@@ -255,6 +289,7 @@ impl ShardedFlowLut {
             offered: 0,
             splitter_stall_cycles: 0,
             draining: false,
+            carried_stats: SimStats::default(),
             cfg,
         }
     }
@@ -413,9 +448,11 @@ impl ShardedFlowLut {
         self.lanes.iter().map(|l| lock(l).in_pipeline()).sum()
     }
 
-    /// Simulator counters merged across all shards (cumulative).
+    /// Simulator counters merged across all shards (cumulative),
+    /// including counters carried over from lanes retired by a rescale —
+    /// so the view stays monotone across the engine's whole life.
     fn merged_stats(&self) -> SimStats {
-        let mut agg = SimStats::default();
+        let mut agg = self.carried_stats;
         for lane in &self.lanes {
             agg.merge(lock(lane).sim.stats());
         }
@@ -426,9 +463,9 @@ impl ShardedFlowLut {
     /// rate and returns the performance report. Completes when every
     /// offered descriptor has resolved.
     ///
-    /// *Deprecated path*: this batch entry point is a thin wrapper over
-    /// the streaming session API ([`run_session`] driving this engine as
-    /// a [`FlowPipeline`]) and is kept for callers that need the rich
+    /// This batch entry point is a thin wrapper over the streaming
+    /// session API (a [`Session`] driving this engine as a
+    /// [`FlowPipeline`]) and is kept for callers that need the rich
     /// per-shard [`EngineReport`]. New code should prefer the session
     /// API, whose [`RunReport`] is comparable across backends;
     /// `tests/session_equivalence.rs` pins that both paths report
@@ -442,7 +479,10 @@ impl ShardedFlowLut {
         let start_cycle = self.now_sys;
         let start_stats: Vec<SimStats> = self.lanes.iter().map(|l| *lock(l).sim.stats()).collect();
         let start_stalls = self.splitter_stall_cycles;
-        let _ = run_session(self, descs);
+        match Session::new(self).run(descs) {
+            Ok(_) => {}
+            Err(_) => unreachable!("a freshly opened session is never drained"),
+        }
         self.report(start_cycle, &start_stats, start_stalls)
     }
 
@@ -494,7 +534,219 @@ impl ShardedFlowLut {
             per_shard,
         }
     }
+
+    /// `true` when every lane's staging is empty and every shard's
+    /// internal queues have settled — the state
+    /// [`checkpoint`](Self::checkpoint) and
+    /// [`rescale_double`](Self::rescale_double) require.
+    pub fn is_quiescent(&self) -> bool {
+        self.lanes.iter().all(|l| {
+            let lane = lock(l);
+            lane.staging.is_empty() && lane.sim.is_quiescent()
+        })
+    }
+
+    /// Drains the whole engine and keeps ticking (lockstep, so shard
+    /// clocks never diverge) until every shard's internal queues have
+    /// settled. Returns the cycles spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queues fail to settle in an implausibly long time
+    /// (a scheduler deadlock — a bug, not a workload condition).
+    pub fn quiesce(&mut self) -> u64 {
+        let start = self.now_sys;
+        if self.in_pipeline() > 0 {
+            FlowPipeline::drain(self);
+        }
+        let mut guard = 0u64;
+        while !self.is_quiescent() {
+            ShardedFlowLut::tick(self);
+            guard += 1;
+            assert!(
+                guard < 2_000_000,
+                "internal queues did not settle for 2M cycles — quiesce deadlock"
+            );
+        }
+        self.now_sys - start
+    }
+
+    /// Pressure-eviction victims accumulated across all shards (shard
+    /// order, oldest first within a shard); each shard's list is left
+    /// empty. See [`FlowLutSim::take_victims`].
+    pub fn take_victims(&mut self) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            out.extend(lock(lane).sim.take_victims());
+        }
+        out
+    }
+
+    /// Serializes a consistent checkpoint of the whole (quiescent)
+    /// engine: the splitter state plus one embedded
+    /// [`FlowLutSim::checkpoint`] blob per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotQuiescent`] unless [`quiesce`](Self::quiesce)
+    /// came first.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        if !self.is_quiescent() {
+            return Err(CheckpointError::NotQuiescent {
+                in_pipeline: self.in_pipeline(),
+            });
+        }
+        let mut w = ByteWriter::new();
+        w.put_u32(ENGINE_CHECKPOINT_MAGIC);
+        w.put_u32(ENGINE_CHECKPOINT_VERSION);
+        w.put_u64(self.lanes.len() as u64);
+        w.put_u64(self.cfg.router_seed);
+        w.put_u64(self.now_sys);
+        w.put_u64(self.offered);
+        w.put_u64(self.splitter_stall_cycles);
+        checkpoint::write_stats(&mut w, &self.carried_stats);
+        for lane in &self.lanes {
+            let blob = lock(lane).sim.checkpoint()?;
+            w.put_u64(blob.len() as u64);
+            w.put_bytes(&blob);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuilds an engine from a [`checkpoint`](Self::checkpoint) blob.
+    /// `cfg` must match the checkpointed shard count, router seed, and
+    /// per-shard configuration; replay from the restored engine is
+    /// bit-identical to continuing the checkpointed one
+    /// (`tests/checkpoint_restore.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on a malformed blob or mismatched `cfg`.
+    pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Self, CheckpointError> {
+        cfg.validate()
+            .map_err(|_| CheckpointError::Corrupt("invalid configuration"))?;
+        let mut r = ByteReader::new(bytes);
+        if r.u32()? != ENGINE_CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != ENGINE_CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let shards = r.u64()?;
+        if shards != cfg.shards as u64 {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: cfg.shards as u64,
+                found: shards,
+            });
+        }
+        let router_seed = r.u64()?;
+        if router_seed != cfg.router_seed {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: cfg.router_seed,
+                found: router_seed,
+            });
+        }
+        let now_sys = r.u64()?;
+        let offered = r.u64()?;
+        let splitter_stall_cycles = r.u64()?;
+        let carried_stats = checkpoint::read_stats(&mut r)?;
+        let mut sims = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            let len = usize::try_from(r.u64()?)
+                .map_err(|_| CheckpointError::Corrupt("shard blob length overflow"))?;
+            let blob = r.take(len)?;
+            let sim = FlowLutSim::restore(cfg.shard.clone(), blob)?;
+            if sim.now_sys() != now_sys {
+                return Err(CheckpointError::Corrupt("shard clock diverged from engine"));
+            }
+            sims.push(sim);
+        }
+        r.finish()?;
+        let mut engine = Self::assemble(cfg, sims);
+        engine.now_sys = now_sys;
+        engine.offered = offered;
+        engine.splitter_stall_cycles = splitter_stall_cycles;
+        engine.carried_stats = carried_stats;
+        Ok(engine)
+    }
+
+    /// Online shard rescale N→2N: drains in-flight work, settles every
+    /// shard, then rehomes each resident flow onto the doubled shard set
+    /// via the pure [`ShardRouter`] partition — no descriptor is dropped
+    /// (the drain resolves them all first) and every flow lands on
+    /// exactly one new shard, at the engine's current cycle.
+    ///
+    /// The new lanes, router, and worker pool are fully built and
+    /// populated *before* being committed, so the engine is unchanged on
+    /// error. Old-lane counters fold into the carried statistics, keeping
+    /// engine-level views monotone.
+    ///
+    /// # Errors
+    ///
+    /// [`RescaleError::ShardFull`] when a flow cannot be placed on its
+    /// destination shard (the doubled capacity makes this pathological:
+    /// it requires an adversarial hash collision set).
+    pub fn rescale_double(&mut self) -> Result<RescaleReport, RescaleError> {
+        let drained_cycles = self.quiesce();
+        let old_shards = self.lanes.len();
+        let new_shards = old_shards * 2;
+        let now_sys = self.now_sys;
+        // Collect migrating flows in deterministic order (shard-major,
+        // flow-ID order within a shard) and fold old-lane counters.
+        let mut migrating: Vec<FlowRecord> = Vec::new();
+        let mut retired_stats = SimStats::default();
+        for lane in &self.lanes {
+            let lane = lock(lane);
+            retired_stats.merge(lane.sim.stats());
+            migrating.extend(lane.sim.flow_state().iter().map(|(_, r)| *r));
+        }
+        // Build the doubled partition and warm destination shards at the
+        // current cycle (canonical memory phase, clocks in lockstep).
+        let router = ShardRouter::new(new_shards, self.cfg.router_seed);
+        let mut sims: Vec<FlowLutSim> = (0..new_shards)
+            .map(|_| FlowLutSim::warm_start(self.cfg.shard.clone(), now_sys))
+            .collect();
+        let mut migrated_flows = 0u64;
+        for record in migrating {
+            let dest = router.route(&record.key);
+            if sims[dest].adopt_flow(record).is_err() {
+                return Err(RescaleError::ShardFull {
+                    shard: dest,
+                    cause: FullError {
+                        table: ENGINE_BACKEND_NAME,
+                        key: record.key,
+                        occupancy: sims[dest].table().len(),
+                        capacity: self.cfg.shard.table.capacity(),
+                    },
+                });
+            }
+            migrated_flows += 1;
+        }
+        // Commit: swap in the doubled engine (dropping the old engine
+        // joins its worker pool).
+        let mut cfg = self.cfg.clone();
+        cfg.shards = new_shards;
+        let mut rebuilt = Self::assemble(cfg, sims);
+        rebuilt.now_sys = now_sys;
+        rebuilt.offered = self.offered;
+        rebuilt.splitter_stall_cycles = self.splitter_stall_cycles;
+        rebuilt.carried_stats = self.carried_stats;
+        rebuilt.carried_stats.merge(&retired_stats);
+        *self = rebuilt;
+        Ok(RescaleReport {
+            old_shards,
+            new_shards,
+            migrated_flows,
+            drained_cycles,
+        })
+    }
 }
+
+/// Magic bytes of an engine checkpoint ("FENG" LE).
+const ENGINE_CHECKPOINT_MAGIC: u32 = 0x474E4546;
+/// Current engine checkpoint format version.
+const ENGINE_CHECKPOINT_VERSION: u32 = 1;
 
 /// Backend name of the sharded engine, shared by the [`FlowStore`] impl
 /// and the [`EngineReport`] → [`RunReport`] conversion.
@@ -574,9 +826,9 @@ impl FlowStore for ShardedFlowLut {
 }
 
 impl FlowPipeline for ShardedFlowLut {
-    fn start_run(&mut self) {
+    fn begin_run(&mut self) {
         for lane in &self.lanes {
-            FlowPipeline::start_run(&mut lock(lane).sim);
+            FlowPipeline::begin_run(&mut lock(lane).sim);
         }
     }
 
@@ -610,6 +862,16 @@ impl FlowPipeline for ShardedFlowLut {
             in_pipeline: self.in_pipeline(),
             occupancy: self.occupancy(),
         }
+    }
+
+    /// Lifecycle events drained from every shard, in shard order (each
+    /// shard's events are already in cycle order).
+    fn poll_events(&mut self) -> Vec<FlowEvent> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            out.extend(FlowPipeline::poll_events(&mut lock(lane).sim));
+        }
+        out
     }
 
     fn drain(&mut self) -> u64 {

@@ -49,6 +49,8 @@ pub mod pool;
 mod router;
 
 pub use config::{EngineConfig, ExecutionMode};
-pub use engine::{EngineReport, EngineSnapshot, ShardRef, ShardSummary, ShardedFlowLut};
+pub use engine::{
+    EngineReport, EngineSnapshot, RescaleReport, ShardRef, ShardSummary, ShardedFlowLut,
+};
 pub use pool::WorkerPool;
 pub use router::ShardRouter;

@@ -14,7 +14,7 @@
 
 use flowlut::core::{SimConfig, TableConfig};
 use flowlut::traffic::{FiveTuple, FlowKey, PacketDescriptor};
-use flowlut::{run_session, BaselineKind, Builder, FlowBackend};
+use flowlut::{BaselineKind, Builder, FlowBackend, Session};
 
 fn key(i: u64) -> FlowKey {
     FlowKey::from(FiveTuple::from_index(i))
@@ -90,7 +90,7 @@ fn main() {
         match backend.as_pipeline() {
             Some(pipe) => {
                 let descs = PacketDescriptor::sequence((0..resident).map(key));
-                let report = run_session(pipe, &descs);
+                let report = Session::new(pipe).run(&descs).expect("fresh session");
                 rate = Some(report.mdesc_per_s);
             }
             None => {

@@ -15,7 +15,7 @@
 use flowlut::core::SimConfig;
 use flowlut::ddr3::{MemoryKind, MemorySpec};
 use flowlut::traffic::workloads::{MatchRateSet, MatchRateWorkload};
-use flowlut::{run_session, Builder};
+use flowlut::{Builder, FlowPipeline, Session};
 
 /// A warm table at the paper's steady state: 75 % of queries hit.
 fn workload(smoke: bool) -> MatchRateSet {
@@ -66,7 +66,7 @@ fn main() {
             .build_sim()
             .expect("every built-in memory kind yields a valid config");
         sim.preload(set.preload.iter().copied()).unwrap();
-        let report = run_session(&mut sim, &set.queries);
+        let report = sim.start_run().run(&set.queries).expect("fresh session");
         println!(
             "{:>6} {:>10.2} {:>12} {:>12.2} {:>15.1}   {}",
             kind.name(),
@@ -110,7 +110,9 @@ fn main() {
             .build_sim()
             .unwrap();
         sim.preload(set.preload.iter().copied()).unwrap();
-        let report = run_session(&mut sim, &set.queries);
+        let report = Session::new(&mut sim)
+            .run(&set.queries)
+            .expect("fresh session");
         println!(
             "\ncustom spec (DDR4, tRFC +100): {:.2} Mdesc/s — refresh overhead visible.",
             report.mdesc_per_s

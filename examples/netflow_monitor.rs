@@ -1,24 +1,29 @@
 //! NetFlow-style traffic monitor — the paper's motivating application.
 //!
 //! Streams a synthetic switch-fabric trace (the Figure 6 stand-in)
-//! through the timed flow engine with housekeeping enabled, then prints
-//! a NetFlow-style report: top flows by packet count, flow-duration
-//! spread, and expiry statistics.
+//! through the timed flow engine with the engine-level idle-TTL
+//! [`ExpiryPolicy`] enabled, then prints a NetFlow-style report: top
+//! flows by packet count, expiry statistics, and the typed
+//! [`FlowEvent`] stream a collector would export records from.
 //!
 //! Run with: `cargo run --release --example netflow_monitor`
 
-use flowlut::core::{FlowLutSim, SimConfig};
+use flowlut::core::{ExpiryPolicy, FlowLutSim, SimConfig};
 use flowlut::traffic::fabric::FabricTraceProfile;
+use flowlut::{FlowEventKind, FlowPipeline};
 
 fn main() {
     let mut cfg = SimConfig::test_small();
-    // A mid-size table and aggressive housekeeping so expiry is visible
-    // within a short example run.
+    // A mid-size table and an aggressive idle timeout so expiry is
+    // visible within a short example run. The expiry scan is incremental
+    // — `scan_stride` records per cycle, never a stop-the-world sweep.
     cfg.table.buckets_per_mem = 16_384;
     cfg.table.cam_capacity = 512;
     cfg.geometry.rows = 1024;
-    cfg.housekeeping_period_sys = 5_000;
-    cfg.flow_timeout_ns = 200_000; // 200 us idle timeout
+    cfg.expiry = Some(ExpiryPolicy {
+        idle_timeout_cycles: 40_000, // 200 us at the 5 ns system clock
+        scan_stride: 8,
+    });
     let mut sim = FlowLutSim::new(cfg);
 
     let trace = FabricTraceProfile::european_2012().generate(30_000);
@@ -39,10 +44,7 @@ fn main() {
         "  matches         : {} LU1, {} LU2, {} CAM",
         report.stats.lu1_hits, report.stats.lu2_hits, report.stats.cam_hits
     );
-    println!(
-        "  expired by housekeeping: {}",
-        report.stats.housekeeping_expired
-    );
+    println!("  expired (idle TTL)     : {}", report.stats.expired_ttl);
     println!("  drops (table full)     : {}", report.stats.drops);
 
     // NetFlow-style top talkers.
@@ -68,16 +70,28 @@ fn main() {
     println!("\nlive flows: {live} (table holds {table})");
     assert_eq!(live as u64, table, "records and table must agree");
 
-    // Idle-time advance: no packets arrive, so the whole stretch can be
-    // stepped in one epoch-batched call. Half a millisecond of silence
-    // puts every flow past the 200 us idle timeout, and the
-    // housekeeping scans sweep them out.
-    sim.tick_many(100_000);
+    // Idle-time advance: no packets arrive, so every flow ages past the
+    // 200 us idle timeout and the incremental scan sweeps them out,
+    // raising one typed event per expiry — the export trigger a NetFlow
+    // collector keys on.
+    sim.tick_many(200_000);
+    let events = FlowPipeline::poll_events(&mut sim);
+    let expiries = events
+        .iter()
+        .filter(|e| e.kind == FlowEventKind::ExpiredTtl)
+        .count();
     println!(
-        "after 0.5 ms idle: {} live flows, {} expired by housekeeping in total",
+        "after 1 ms idle: {} live flows, {} expiry events delivered, {} expired in total",
         sim.flow_state().len(),
-        sim.stats().housekeeping_expired
+        expiries,
+        sim.stats().expired_ttl
     );
+    if let Some(e) = events.first() {
+        println!(
+            "first event: {:?} key {:?} at cycle {}",
+            e.kind, e.key, e.now_sys
+        );
+    }
     assert!(
         sim.flow_state().len() < live,
         "idle flows must expire during the idle stretch"

@@ -11,7 +11,7 @@
 
 use flowlut::core::{SimConfig, TableConfig};
 use flowlut::traffic::{FiveTuple, FlowKey, PacketDescriptor};
-use flowlut::{run_session, Builder};
+use flowlut::{Builder, Session};
 
 fn main() {
     // ----- Functional layer: any backend, one API -----
@@ -79,7 +79,9 @@ fn main() {
         .enumerate()
         .map(|(seq, t)| PacketDescriptor::new(seq as u64, FlowKey::from(*t)))
         .collect();
-    let report = run_session(sim.as_pipeline().expect("timed backend"), &descriptors);
+    let report = Session::new(sim.as_pipeline().expect("timed backend"))
+        .run(&descriptors)
+        .expect("fresh session");
     println!(
         "timed simulation of {} packets over 3 flows ({} channel):",
         report.completed, report.channels

@@ -39,6 +39,7 @@ use flowlut_core::backend::FlowBackend;
 use flowlut_core::{ConfigError, FlowLutSim, HashCamTable, SimConfig, TableConfig};
 use flowlut_ddr3::{MemoryKind, MemorySpec, TimingPreset};
 use flowlut_engine::{EngineConfig, ExecutionMode, ShardedFlowLut};
+use flowlut_service::{FlowService, ServiceConfig};
 
 /// The related-work comparators [`Builder::baseline`] can construct,
 /// sized to match the configured [`TableConfig`]'s capacity.
@@ -324,6 +325,26 @@ impl Builder {
     ///
     /// [`ConfigError`] if the engine configuration is invalid.
     pub fn build_engine(self) -> Result<ShardedFlowLut, ConfigError> {
+        Ok(ShardedFlowLut::new(self.engine_config()?))
+    }
+
+    /// Builds the long-running flow service (`flowlut-service`): the
+    /// sharded engine of [`build_engine`](Self::build_engine) behind a
+    /// bounded multi-producer ingest queue with a caller-driven pump —
+    /// the entry point for ingest/age/checkpoint/rescale deployments
+    /// (see `examples/flow_service.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the engine configuration is invalid.
+    pub fn build_service(self) -> Result<FlowService, ConfigError> {
+        FlowService::new(ServiceConfig::new(self.engine_config()?))
+    }
+
+    /// The validated engine configuration shared by
+    /// [`build_engine`](Self::build_engine) and
+    /// [`build_service`](Self::build_service).
+    fn engine_config(&self) -> Result<EngineConfig, ConfigError> {
         if self.threads == Some(0) {
             return Err(ConfigError::new("threads must be non-zero"));
         }
@@ -345,7 +366,7 @@ impl Builder {
         };
         cfg.shard = shard;
         cfg.validate()?;
-        Ok(ShardedFlowLut::new(cfg))
+        Ok(cfg)
     }
 
     /// Constructs `kind` at the configured table's capacity: the same
@@ -493,6 +514,17 @@ mod tests {
             .is_err());
         assert!(Builder::new().shards(4).threads(0).build().is_err());
         assert!(Builder::new().shards(4).threads(0).build_engine().is_err());
+    }
+
+    #[test]
+    fn build_service_wraps_the_engine() {
+        let svc = Builder::new()
+            .sim_config(SimConfig::test_small())
+            .shards(2)
+            .build_service()
+            .unwrap();
+        assert_eq!(svc.engine().config().shards, 2);
+        assert!(Builder::new().shards(0).build_service().is_err());
     }
 
     #[test]

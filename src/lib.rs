@@ -12,7 +12,8 @@
 //! related-work baseline — implements the object-safe
 //! [`FlowBackend`]/[`FlowStore`] traits (plus [`FlowPipeline`] for the
 //! timed ones), is constructed by [`Builder`], and reports runs in one
-//! [`RunReport`] shape via [`run_session`].
+//! [`RunReport`] shape via the typed [`Session`] handle. Failures fold
+//! into the unified [`FlowError`] hierarchy.
 //!
 //! This facade crate re-exports the workspace:
 //!
@@ -29,7 +30,10 @@
 //!   analyzer (packet buffer + event engine + stats engine);
 //! * [`engine`] — the multi-channel sharded engine: N complete
 //!   prototypes behind a hash-based shard router, stepped in lockstep —
-//!   the scale-out path past a single channel's ≈44 Mdesc/s saturation.
+//!   the scale-out path past a single channel's ≈44 Mdesc/s saturation;
+//! * [`service`] — the long-running flow service: the engine behind a
+//!   bounded multi-producer ingest queue with blocking backpressure,
+//!   plus checkpoint/restore warm restart and online N→2N rescale.
 //!
 //! ## Quick start
 //!
@@ -48,11 +52,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Timed backends additionally stream descriptors through a paced
-//! session ([`run_session`], or `push`/`tick`/`poll`/`drain` by hand):
+//! Timed backends additionally stream descriptors through a typed,
+//! paced [`Session`] (`push`/`tick`/`poll`/`events`/`drain` by hand, or
+//! [`Session::run`] for the whole batch):
 //!
 //! ```
-//! use flowlut::{run_session, Builder};
+//! use flowlut::{Builder, Session};
 //! use flowlut::core::SimConfig;
 //! use flowlut::traffic::{FiveTuple, FlowKey, PacketDescriptor};
 //!
@@ -63,7 +68,7 @@
 //! let descs: Vec<PacketDescriptor> =
 //!     PacketDescriptor::sequence((0..200).map(|i| FlowKey::from(FiveTuple::from_index(i))));
 //! let pipe = engine.as_pipeline().expect("timed backend");
-//! let report = run_session(pipe, &descs);
+//! let report = Session::new(pipe).run(&descs)?;
 //! assert_eq!(report.completed, 200);
 //! println!("{} ch x {:.1} Mdesc/s", report.channels, report.mdesc_per_s);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -78,10 +83,13 @@
 mod builder;
 
 pub use builder::{BaselineKind, Builder};
+#[allow(deprecated)]
+pub use flowlut_core::backend::run_session;
 pub use flowlut_core::backend::{
-    run_session, FlowBackend, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
-    SessionProgress,
+    FlowBackend, FlowEvent, FlowEventKind, FlowPipeline, FlowStore, FullError, OpStats, RunReport,
+    Session, SessionError, SessionProgress,
 };
+pub use flowlut_core::{CheckpointError, ExpiryPolicy, FlowError, PressurePolicy, RescaleError};
 
 pub use flowlut_analyzer as analyzer;
 pub use flowlut_baselines as baselines;
@@ -90,4 +98,5 @@ pub use flowlut_core as core;
 pub use flowlut_ddr3 as ddr3;
 pub use flowlut_engine as engine;
 pub use flowlut_hash as hash;
+pub use flowlut_service as service;
 pub use flowlut_traffic as traffic;

@@ -15,7 +15,7 @@ use std::collections::HashSet;
 
 use flowlut::core::{SimConfig, TableConfig};
 use flowlut::traffic::{FiveTuple, FlowKey};
-use flowlut::{BaselineKind, Builder, FlowBackend, OpStats};
+use flowlut::{BaselineKind, Builder, ExpiryPolicy, FlowBackend, FlowEventKind, OpStats};
 
 fn key(i: u64) -> FlowKey {
     FlowKey::from(FiveTuple::from_index(i))
@@ -54,6 +54,59 @@ fn registry() -> Vec<Box<dyn FlowBackend>> {
     };
     let sim = SimConfig {
         table,
+        ..SimConfig::test_small()
+    };
+    let mut backends: Vec<Box<dyn FlowBackend>> = BaselineKind::ALL
+        .iter()
+        .map(|&kind| {
+            Builder::new()
+                .table(table)
+                .baseline(kind)
+                .build()
+                .expect("valid baseline config")
+        })
+        .collect();
+    backends.push(Builder::new().table(table).build().expect("valid table"));
+    backends.push(
+        Builder::new()
+            .sim_config(sim.clone())
+            .shards(1)
+            .build()
+            .expect("valid sim"),
+    );
+    backends.push(
+        Builder::new()
+            .sim_config(sim)
+            .shards(2)
+            .build()
+            .expect("valid engine"),
+    );
+    backends
+}
+
+/// Idle timeout for the expiry conformance arm: far above the cycle
+/// cost of the synchronous [`FlowStore`] inserts that seed the table
+/// (so nothing expires *during* seeding), far below the idle stretch.
+const EXPIRY_TIMEOUT_SYS: u64 = 50_000;
+
+/// The full registry again, but with the engine-level idle-TTL
+/// [`ExpiryPolicy`] configured on the timed backends. The functional
+/// structures take the identical builder calls and simply have no clock
+/// to age against — the test gates on [`FlowBackend::as_pipeline`].
+fn expiry_registry() -> Vec<Box<dyn FlowBackend>> {
+    let table = TableConfig {
+        buckets_per_mem: 64,
+        entries_per_bucket: 4,
+        cam_capacity: 64,
+        entry_slot_bytes: 16,
+        hash_seed: 99,
+    };
+    let sim = SimConfig {
+        table,
+        expiry: Some(ExpiryPolicy {
+            idle_timeout_cycles: EXPIRY_TIMEOUT_SYS,
+            scan_stride: 4,
+        }),
         ..SimConfig::test_small()
     };
     let mut backends: Vec<Box<dyn FlowBackend>> = BaselineKind::ALL
@@ -151,6 +204,70 @@ proptest! {
             let expected = model.contains(&k);
             for b in backends.iter_mut() {
                 prop_assert_eq!(b.contains(&k), expected, "{} final sweep", b.name());
+            }
+        }
+    }
+
+    /// Expiry conformance, capability-gated: every backend takes the
+    /// same flow population, then the timed backends (the ones whose
+    /// [`FlowBackend::as_pipeline`] answers `Some`) idle past the
+    /// configured TTL and must agree exactly — every seeded flow
+    /// expires, is counted once in `expired_ttl`, raises exactly one
+    /// `ExpiredTtl` event carrying its key, and leaves the table.
+    /// Functional backends have no clock and are skipped by the gate.
+    #[test]
+    fn timed_backends_expire_idle_flows_identically(
+        keys in prop::collection::hash_set(0u64..24, 1..24usize)
+    ) {
+        let mut backends = expiry_registry();
+        let expected_keys: HashSet<FlowKey> = keys.iter().map(|&i| key(i)).collect();
+        let population = expected_keys.len() as u64;
+
+        for b in backends.iter_mut() {
+            // Deterministic seeding order across backends.
+            let mut sorted: Vec<u64> = keys.iter().copied().collect();
+            sorted.sort_unstable();
+            for i in sorted {
+                let fresh = b
+                    .insert(key(i))
+                    .unwrap_or_else(|e| panic!("{} unexpectedly full: {e}", b.name()));
+                prop_assert!(fresh, "{} saw a duplicate on first insert", b.name());
+            }
+            prop_assert_eq!(b.len(), population, "{} seeded occupancy", b.name());
+
+            let name = b.name();
+            let Some(pipe) = b.as_pipeline() else {
+                continue; // functional structure: no clock, nothing ages
+            };
+            // Idle long enough for every flow to cross the TTL and for
+            // the amortized scan (stride records/cycle) to sweep them.
+            pipe.tick_many(5 * EXPIRY_TIMEOUT_SYS);
+
+            let progress = pipe.poll();
+            prop_assert_eq!(
+                progress.stats.expired_ttl, population,
+                "{} expired_ttl counter", name
+            );
+            prop_assert_eq!(
+                progress.stats.pressure_evicted, 0,
+                "{} must not confuse expiry with eviction", name
+            );
+            let events = pipe.poll_events();
+            prop_assert_eq!(events.len() as u64, population, "{} one event per flow", name);
+            let mut seen: HashSet<FlowKey> = HashSet::new();
+            for e in &events {
+                prop_assert_eq!(e.kind, FlowEventKind::ExpiredTtl, "{} event kind", name);
+                prop_assert!(seen.insert(e.key), "{} duplicate event for {:?}", name, e.key);
+            }
+            prop_assert_eq!(&seen, &expected_keys, "{} event keys", name);
+            prop_assert_eq!(
+                pipe.poll_events().len(), 0,
+                "{} events must drain exactly once", name
+            );
+
+            prop_assert_eq!(b.len(), 0, "{} expired flows must leave the table", name);
+            for k in &expected_keys {
+                prop_assert!(!b.contains(k), "{} still answers for an expired flow", name);
             }
         }
     }

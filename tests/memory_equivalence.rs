@@ -14,7 +14,7 @@ use flowlut::ddr3::{MemoryKind, MemorySpec, TimingPreset};
 use flowlut::engine::{EngineConfig, ShardedFlowLut};
 use flowlut::traffic::fabric::FabricTraceProfile;
 use flowlut::traffic::PacketDescriptor;
-use flowlut::{run_session, Builder, RunReport};
+use flowlut::{Builder, FlowPipeline, RunReport};
 
 fn trace(packets: usize) -> Vec<PacketDescriptor> {
     FabricTraceProfile::european_2012().generate(packets)
@@ -53,6 +53,8 @@ fn golden_1066e() -> RunReport {
             deletes: 0,
             housekeeping_expired: 0,
             evictions: 0,
+            expired_ttl: 0,
+            pressure_evicted: 0,
             total_latency_sys: 910572,
             max_latency_sys: 1466,
         },
@@ -97,6 +99,8 @@ fn golden_default() -> RunReport {
             deletes: 0,
             housekeeping_expired: 0,
             evictions: 0,
+            expired_ttl: 0,
+            pressure_evicted: 0,
             total_latency_sys: 874948,
             max_latency_sys: 1634,
         },
@@ -141,6 +145,8 @@ fn golden_engine() -> RunReport {
             deletes: 0,
             housekeeping_expired: 0,
             evictions: 0,
+            expired_ttl: 0,
+            pressure_evicted: 0,
             total_latency_sys: 483682,
             max_latency_sys: 943,
         },
@@ -157,21 +163,21 @@ fn ddr3_1066e_path_bit_identical_to_pre_refactor() {
     let mut cfg = SimConfig::test_small();
     cfg.timing = TimingPreset::Ddr3_1066E.params();
     let mut sim = FlowLutSim::new(cfg);
-    let report = run_session(&mut sim, &trace(2_000));
+    let report = sim.start_run().run(&trace(2_000)).unwrap();
     assert_eq!(report, golden_1066e());
 }
 
 #[test]
 fn ddr3_default_path_bit_identical_to_pre_refactor() {
     let mut sim = FlowLutSim::new(SimConfig::test_small());
-    let report = run_session(&mut sim, &trace(2_000));
+    let report = sim.start_run().run(&trace(2_000)).unwrap();
     assert_eq!(report, golden_default());
 }
 
 #[test]
 fn engine_path_bit_identical_to_pre_refactor() {
     let mut engine = ShardedFlowLut::new(EngineConfig::test_small());
-    let report = run_session(&mut engine, &trace(2_000));
+    let report = engine.start_run().run(&trace(2_000)).unwrap();
     assert_eq!(report, golden_engine());
 }
 
@@ -187,8 +193,8 @@ fn explicit_ddr3_spec_is_the_legacy_path() {
         FlowLutSim::new(cfg)
     };
     assert_eq!(
-        run_session(&mut implicit, &descs),
-        run_session(&mut explicit, &descs)
+        implicit.start_run().run(&descs).unwrap(),
+        explicit.start_run().run(&descs).unwrap()
     );
 }
 
@@ -208,8 +214,8 @@ fn builder_timing_and_memory_ddr3_agree() {
         .build_sim()
         .unwrap();
     assert_eq!(
-        run_session(&mut via_timing, &descs),
-        run_session(&mut via_memory, &descs)
+        via_timing.start_run().run(&descs).unwrap(),
+        via_memory.start_run().run(&descs).unwrap()
     );
 }
 
@@ -225,7 +231,7 @@ fn non_ddr3_models_run_the_same_workload() {
         let mut cfg = SimConfig::test_small();
         cfg.memory = kind.default_spec();
         let mut sim = FlowLutSim::new(cfg);
-        let report = run_session(&mut sim, &descs);
+        let report = sim.start_run().run(&descs).unwrap();
         assert_eq!(report.completed, 1_000, "{}", kind.name());
         let total = report.occupancy.total();
         match baseline {
@@ -244,11 +250,11 @@ fn sram_is_at_least_as_fast_as_ddr3() {
     // The idealized bound must not lose to the technology it bounds.
     let descs = trace(2_000);
     let mut ddr3 = FlowLutSim::new(SimConfig::test_small());
-    let ddr3_cycles = run_session(&mut ddr3, &descs).sys_cycles;
+    let ddr3_cycles = ddr3.start_run().run(&descs).unwrap().sys_cycles;
     let mut cfg = SimConfig::test_small();
     cfg.memory = MemoryKind::Sram.default_spec();
     let mut sram = FlowLutSim::new(cfg);
-    let sram_cycles = run_session(&mut sram, &descs).sys_cycles;
+    let sram_cycles = sram.start_run().run(&descs).unwrap().sys_cycles;
     assert!(
         sram_cycles <= ddr3_cycles,
         "sram took {sram_cycles} cycles vs ddr3 {ddr3_cycles}"

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use flowlut::engine::{EngineConfig, ExecutionMode, ShardedFlowLut};
 use flowlut::traffic::fabric::FabricTraceProfile;
 use flowlut::traffic::PacketDescriptor;
-use flowlut::{run_session, Builder, RunReport};
+use flowlut::{Builder, RunReport, Session};
 
 fn trace(packets: usize) -> Vec<PacketDescriptor> {
     FabricTraceProfile::european_2012().generate(packets)
@@ -109,8 +109,12 @@ fn threaded_is_bit_identical_with_preload_and_sessions() {
     };
     let mut inline_backend = mk(1);
     let mut threaded_backend = mk(4);
-    let ra = run_session(inline_backend.as_pipeline().expect("timed"), &descs);
-    let rb = run_session(threaded_backend.as_pipeline().expect("timed"), &descs);
+    let ra = Session::new(inline_backend.as_pipeline().expect("timed"))
+        .run(&descs)
+        .expect("fresh session");
+    let rb = Session::new(threaded_backend.as_pipeline().expect("timed"))
+        .run(&descs)
+        .expect("fresh session");
     assert_eq!(ra, rb, "session reports diverged");
 }
 

@@ -1,16 +1,16 @@
 //! The legacy batch entry points (`FlowLutSim::run`,
-//! `ShardedFlowLut::run`) are thin wrappers over the streaming session
-//! API. These tests pin the behavioural equivalence: on a fixed seeded
-//! fabric trace, the wrapper and a hand-driven session produce
-//! *identical* [`RunReport`]s — same cycle counts, same counters, same
-//! occupancy — for both the single-channel simulator and the sharded
-//! engine.
+//! `ShardedFlowLut::run`) are thin wrappers over the typed streaming
+//! [`Session`]. These tests pin the behavioural equivalence: on a fixed
+//! seeded fabric trace, the wrapper, a hand-driven session, and the
+//! deprecated `run_session` shim all produce *identical* [`RunReport`]s
+//! — same cycle counts, same counters, same occupancy — for both the
+//! single-channel simulator and the sharded engine.
 
 use flowlut::core::{FlowLutSim, SimConfig};
 use flowlut::engine::{EngineConfig, ShardedFlowLut};
 use flowlut::traffic::fabric::FabricTraceProfile;
 use flowlut::traffic::PacketDescriptor;
-use flowlut::{run_session, RunReport};
+use flowlut::{FlowPipeline, RunReport, Session, SessionError};
 
 fn trace(packets: usize) -> Vec<PacketDescriptor> {
     FabricTraceProfile::european_2012().generate(packets)
@@ -23,7 +23,10 @@ fn sim_legacy_run_equals_streaming_session() {
     let mut session = FlowLutSim::new(SimConfig::test_small());
 
     let legacy_report: RunReport = legacy.run(&descs).into();
-    let session_report = run_session(&mut session, &descs);
+    // Hand-driven: offer the batch, then finish (which drains).
+    let mut s = session.start_run();
+    s.offer(&descs).expect("fresh session");
+    let session_report = s.finish();
 
     assert_eq!(legacy_report, session_report);
     assert_eq!(legacy_report.channels, 1);
@@ -38,7 +41,7 @@ fn engine_legacy_run_equals_streaming_session() {
     let mut session = ShardedFlowLut::new(EngineConfig::test_small());
 
     let legacy_report: RunReport = legacy.run(&descs).into();
-    let session_report = run_session(&mut session, &descs);
+    let session_report = session.start_run().run(&descs).expect("fresh session");
 
     assert_eq!(legacy_report, session_report);
     assert_eq!(legacy_report.channels, 2);
@@ -46,8 +49,21 @@ fn engine_legacy_run_equals_streaming_session() {
 }
 
 #[test]
+fn deprecated_run_session_shim_matches_typed_session() {
+    // The 0.2 migration shim must stay byte-for-byte equivalent to the
+    // session it wraps until it is removed.
+    let descs = trace(1_500);
+    let mut via_shim = FlowLutSim::new(SimConfig::test_small());
+    let mut via_session = FlowLutSim::new(SimConfig::test_small());
+    #[allow(deprecated)]
+    let shim_report = flowlut::run_session(&mut via_shim, &descs);
+    let session_report = via_session.start_run().run(&descs).expect("fresh session");
+    assert_eq!(shim_report, session_report);
+}
+
+#[test]
 fn equivalence_holds_across_repeated_runs() {
-    // The wrapper differences statistics against the run start; a second
+    // The session differences statistics against the run start; a second
     // session on a warm instance must report the second run alone, just
     // as the legacy wrapper does.
     let first = trace(1_000);
@@ -56,10 +72,10 @@ fn equivalence_holds_across_repeated_runs() {
     let mut legacy = FlowLutSim::new(SimConfig::test_small());
     let mut session = FlowLutSim::new(SimConfig::test_small());
     legacy.run(&first);
-    run_session(&mut session, &first);
+    session.start_run().run(&first).expect("fresh session");
 
     let legacy_report: RunReport = legacy.run(&second).into();
-    let session_report = run_session(&mut session, &second);
+    let session_report = session.start_run().run(&second).expect("fresh session");
     assert_eq!(legacy_report, session_report);
     assert_eq!(legacy_report.completed, 1_000);
 }
@@ -77,4 +93,20 @@ fn session_report_matches_engine_report_projection() {
     assert_eq!(unified.sys_cycles, rich.sys_cycles);
     assert_eq!(unified.occupancy, rich.occupancy());
     assert_eq!(unified.mdesc_per_s, rich.mdesc_per_s);
+}
+
+#[test]
+fn drained_session_rejects_further_use() {
+    // Lifecycle misuse is a typed error, not a panic or silent no-op.
+    let descs = trace(200);
+    let mut sim = FlowLutSim::new(SimConfig::test_small());
+    let mut s = Session::new(&mut sim);
+    s.offer(&descs).expect("fresh session");
+    s.drain().expect("first drain");
+    assert_eq!(s.drain(), Err(SessionError::AlreadyDrained));
+    assert_eq!(s.push(descs[0]), Err(SessionError::Drained));
+    assert_eq!(s.offer(&descs), Err(SessionError::Drained));
+    // finish() still produces the report for the completed work.
+    let report = s.finish();
+    assert_eq!(report.completed, 200);
 }

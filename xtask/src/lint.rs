@@ -435,6 +435,13 @@ fn required_keys(bench: &str) -> &'static [&'static str] {
             "verdicts",
             "acceptance_sram_ge_ddr3",
         ],
+        "service" => &[
+            "bench",
+            "mode",
+            "workload",
+            "results",
+            "acceptance_expiry_sustained_ge_0p9x_off",
+        ],
         _ => &["bench", "mode", "results"],
     }
 }
@@ -451,6 +458,14 @@ fn required_row_keys(bench: &str) -> &'static [&'static str] {
             "headroom_vs_400gbe",
             "holds_line_rate",
             "completed",
+        ],
+        "service" => &[
+            "shards",
+            "profile",
+            "completed",
+            "sustained_mdesc_per_s",
+            "expired_ttl",
+            "pressure_evicted",
         ],
         _ => &["shards", "completed"],
     }
@@ -552,6 +567,7 @@ mod tests {
             "BENCH_engine.json",
             "BENCH_parallel.json",
             "BENCH_memory.json",
+            "BENCH_service.json",
         ] {
             let text = std::fs::read_to_string(format!("{root}/../{name}")).unwrap();
             assert_eq!(check_bench_schema(name, &text), vec![], "{name}");
@@ -670,6 +686,25 @@ mod tests {
         assert!(v.iter().any(|x| x
             .msg
             .contains("results[0] is missing key `holds_line_rate`")));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn dropped_service_schema_key_flagged() {
+        // Seeded violation: a service snapshot missing its acceptance
+        // key and one per-row lifecycle counter must fail on both.
+        let text = r#"{"bench": "service", "mode": "quick",
+            "workload": {},
+            "results": [{"shards": 1, "profile": "expiry",
+                "completed": 12288, "sustained_mdesc_per_s": 30.7,
+                "expired_ttl": 1152}]}"#;
+        let v = check_bench_schema("BENCH_service.json", text);
+        assert!(v.iter().any(|x| x
+            .msg
+            .contains("missing schema key `acceptance_expiry_sustained_ge_0p9x_off`")));
+        assert!(v.iter().any(|x| x
+            .msg
+            .contains("results[0] is missing key `pressure_evicted`")));
         assert_eq!(v.len(), 2);
     }
 
