@@ -114,6 +114,7 @@ impl FlowTable for CuckooTable {
         self.worst_insert_kicks = self.worst_insert_kicks.max(kicks);
         if self.stash.len() < self.stash_capacity {
             self.stash.push(cur);
+            self.stats.cam_spills += 1;
             self.len += 1; // the new key landed; the victim stays resident
             Ok(())
         } else {
@@ -122,6 +123,7 @@ impl FlowTable for CuckooTable {
             // The new key *is* resident; one previously resident key was
             // lost, recorded in `lost_keys` (net length unchanged).
             self.lost_keys += 1;
+            self.stats.rejected += 1;
             Err(self.full_error(key))
         }
     }

@@ -92,6 +92,7 @@ impl FlowTable for DLeftTable {
         }
         let (load, t, b) = best.expect("d >= 1");
         if load == self.k {
+            self.stats.rejected += 1;
             return Err(self.full_error(key));
         }
         let slot = self.tables[t][b]

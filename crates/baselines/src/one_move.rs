@@ -146,6 +146,7 @@ impl OneMoveTable {
         self.tables[t][b][slot] = Some(*key);
         self.stats.mem_writes += 1;
         self.stats.relocations += 1;
+        self.stats.cam_spills += 1;
         Some(())
     }
 }
@@ -167,6 +168,7 @@ impl FlowTable for OneMoveTable {
         } else {
             // try_move_to_cam only fails when the CAM itself is full, so
             // there is nowhere left to place the key.
+            self.stats.rejected += 1;
             Err(self.full_error(key))
         }
     }

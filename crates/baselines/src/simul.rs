@@ -76,10 +76,14 @@ impl FlowTable for SimultaneousHashCam {
         }
         match self.cam.insert(key) {
             Ok(_) => {
+                self.stats.cam_spills += 1;
                 self.len += 1;
                 Ok(())
             }
-            Err(_) => Err(self.full_error(key)),
+            Err(_) => {
+                self.stats.rejected += 1;
+                Err(self.full_error(key))
+            }
         }
     }
 

@@ -58,6 +58,7 @@ impl FlowTable for SingleHashTable {
             self.len += 1;
             Ok(())
         } else {
+            self.stats.rejected += 1;
             Err(self.full_error(key))
         }
     }

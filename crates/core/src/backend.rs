@@ -106,6 +106,13 @@ pub struct OpStats {
     pub lookups: u64,
     /// Insert operations attempted.
     pub inserts: u64,
+    /// Insert attempts the structure refused (table full / kick budget
+    /// exhausted / overflow CAM full). Every backend counts these — the
+    /// scenario runner turns them into drop rates.
+    pub rejected: u64,
+    /// Keys placed in the overflow CAM / stash instead of a main-table
+    /// bucket. Zero for structures without an overflow path.
+    pub cam_spills: u64,
 }
 
 impl OpStats {
@@ -130,6 +137,8 @@ impl OpStats {
         self.relocations += other.relocations;
         self.lookups += other.lookups;
         self.inserts += other.inserts;
+        self.rejected += other.rejected;
+        self.cam_spills += other.cam_spills;
     }
 
     /// Counter-wise difference `self − earlier`.
@@ -146,6 +155,8 @@ impl OpStats {
             relocations: self.relocations - earlier.relocations,
             lookups: self.lookups - earlier.lookups,
             inserts: self.inserts - earlier.inserts,
+            rejected: self.rejected - earlier.rejected,
+            cam_spills: self.cam_spills - earlier.cam_spills,
         }
     }
 
@@ -158,6 +169,8 @@ impl OpStats {
             && self.relocations >= earlier.relocations
             && self.lookups >= earlier.lookups
             && self.inserts >= earlier.inserts
+            && self.rejected >= earlier.rejected
+            && self.cam_spills >= earlier.cam_spills
     }
 }
 
@@ -739,6 +752,8 @@ impl FlowStore for HashCamTable {
             relocations: 0,
             lookups: s.lookups,
             inserts: s.inserts + s.full_rejections,
+            rejected: s.full_rejections,
+            cam_spills: s.cam_spills,
         }
     }
 }
@@ -775,6 +790,8 @@ mod tests {
             relocations: 1,
             lookups: 4,
             inserts: 2,
+            rejected: 6,
+            cam_spills: 8,
         };
         let mut b = a;
         b.merge(&a);

@@ -1588,6 +1588,8 @@ impl FlowStore for FlowLutSim {
             relocations: s.evictions,
             lookups: s.completed,
             inserts: s.inserted_mem + s.inserted_cam + s.drops,
+            rejected: s.drops,
+            cam_spills: s.inserted_cam,
         }
     }
 }

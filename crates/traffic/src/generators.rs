@@ -1,0 +1,280 @@
+//! Scenario building-block traffic generators.
+//!
+//! The realistic-workload half of the scenario matrix (`flowlut-
+//! scenarios`) is composed from these seeded, reproducible descriptor
+//! generators:
+//!
+//! * [`ElephantMiceWorkload`] — a few high-volume flows carrying most
+//!   packets over a long tail of one-off mice;
+//! * [`ChurnWorkload`] — a live flow population with controlled
+//!   per-packet birth/death rates (connection churn);
+//! * [`BurstWorkload`] — burst trains and microbursts: consecutive
+//!   same-flow packet runs instead of i.i.d. arrivals.
+//!
+//! Zipf-skewed popularity lives in [`fabric`](crate::fabric) (the
+//! Figure 6 trace stand-in is exactly a Zipf generator); these fill in
+//! the remaining scenario axes. All generators follow the fabric-trace
+//! idiom: flow *ranks* are salted by the seed before mapping to
+//! 5-tuples, so different seeds draw from disjoint key spaces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::descriptor::PacketDescriptor;
+use crate::key::{FiveTuple, FlowKey};
+
+/// Salted rank → key mapping shared by every generator (the fabric-trace
+/// idiom: different seeds yield disjoint tuple spaces).
+fn salted_key(rank: u64, salt: u64) -> FlowKey {
+    FlowKey::from(FiveTuple::from_index(rank ^ salt))
+}
+
+fn salt_of(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Elephant/mice traffic mix: `elephant_share` of packets drawn from a
+/// small set of heavy flows, the rest from a large population of mice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElephantMiceWorkload {
+    /// Number of heavy (elephant) flows.
+    pub elephants: u64,
+    /// Number of light (mice) flows.
+    pub mice: u64,
+    /// Fraction of packets belonging to elephants, in `[0, 1]`.
+    pub elephant_share: f64,
+    /// Packets to generate.
+    pub count: usize,
+    /// RNG seed (also salts the rank → tuple mapping).
+    pub seed: u64,
+}
+
+impl ElephantMiceWorkload {
+    /// Generates the descriptor stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population is zero or `elephant_share` is
+    /// outside `[0, 1]`.
+    pub fn build(&self) -> Vec<PacketDescriptor> {
+        assert!(
+            self.elephants > 0 && self.mice > 0,
+            "both populations must be non-empty"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.elephant_share),
+            "elephant share must be within [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let salt = salt_of(self.seed);
+        (0..self.count)
+            .map(|i| {
+                // Elephant ranks occupy [0, elephants); mice follow.
+                let rank = if rng.gen::<f64>() < self.elephant_share {
+                    rng.gen_range(0..self.elephants)
+                } else {
+                    self.elephants + rng.gen_range(0..self.mice)
+                };
+                PacketDescriptor::new(i as u64, salted_key(rank, salt))
+            })
+            .collect()
+    }
+}
+
+/// Flow churn: a fixed-size live population where flows die and fresh
+/// flows are born at a controlled per-packet rate.
+///
+/// Each packet first applies churn (with probability `churn_rate`, one
+/// uniformly chosen live flow is retired and a never-seen flow replaces
+/// it), then belongs to a uniformly chosen live flow. The expected
+/// number of distinct flows over `count` packets is
+/// `live_flows + churn_rate * count`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnWorkload {
+    /// Size of the live flow population (constant over the run).
+    pub live_flows: usize,
+    /// Per-packet probability of one death + one birth, in `[0, 1]`.
+    pub churn_rate: f64,
+    /// Packets to generate.
+    pub count: usize,
+    /// RNG seed (also salts the rank → tuple mapping).
+    pub seed: u64,
+}
+
+impl ChurnWorkload {
+    /// Generates the descriptor stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live_flows` is zero or `churn_rate` is outside
+    /// `[0, 1]`.
+    pub fn build(&self) -> Vec<PacketDescriptor> {
+        assert!(self.live_flows > 0, "live population must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&self.churn_rate),
+            "churn rate must be within [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let salt = salt_of(self.seed);
+        let mut live: Vec<u64> = (0..self.live_flows as u64).collect();
+        let mut next_fresh = self.live_flows as u64;
+        (0..self.count)
+            .map(|i| {
+                if rng.gen::<f64>() < self.churn_rate {
+                    let victim = rng.gen_range(0..live.len());
+                    live[victim] = next_fresh;
+                    next_fresh += 1;
+                }
+                let rank = live[rng.gen_range(0..live.len())];
+                PacketDescriptor::new(i as u64, salted_key(rank, salt))
+            })
+            .collect()
+    }
+}
+
+/// Burst trains and microbursts: instead of i.i.d. arrivals, each flow
+/// emits a consecutive run of packets before the next flow is drawn.
+///
+/// Run lengths are uniform in `1..=max_burst`; small `flows` with large
+/// `max_burst` models a microburst storm hammering a handful of keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstWorkload {
+    /// Number of distinct flows bursts draw from.
+    pub flows: u64,
+    /// Longest burst train, in packets.
+    pub max_burst: usize,
+    /// Packets to generate.
+    pub count: usize,
+    /// RNG seed (also salts the rank → tuple mapping).
+    pub seed: u64,
+}
+
+impl BurstWorkload {
+    /// Generates the descriptor stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` or `max_burst` is zero.
+    pub fn build(&self) -> Vec<PacketDescriptor> {
+        assert!(self.flows > 0, "flow population must be non-empty");
+        assert!(self.max_burst > 0, "burst length must be non-zero");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let salt = salt_of(self.seed);
+        let mut out = Vec::with_capacity(self.count);
+        while out.len() < self.count {
+            let key = salted_key(rng.gen_range(0..self.flows), salt);
+            let burst = rng
+                .gen_range(1..=self.max_burst)
+                .min(self.count - out.len());
+            for _ in 0..burst {
+                out.push(PacketDescriptor::new(out.len() as u64, key));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn elephant_share_realised() {
+        let w = ElephantMiceWorkload {
+            elephants: 8,
+            mice: 10_000,
+            elephant_share: 0.8,
+            count: 5_000,
+            seed: 1,
+        };
+        let ds = w.build();
+        assert_eq!(ds.len(), 5_000);
+        // The 8 elephants must dominate: the 8 most frequent keys carry
+        // roughly 80% of the packets.
+        let mut freq = std::collections::HashMap::new();
+        for d in &ds {
+            *freq.entry(d.key).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<usize> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top8: usize = counts.iter().take(8).sum();
+        let share = top8 as f64 / ds.len() as f64;
+        assert!((0.75..=0.85).contains(&share), "elephant share {share}");
+    }
+
+    #[test]
+    fn churn_grows_distinct_flows_at_the_configured_rate() {
+        let w = ChurnWorkload {
+            live_flows: 100,
+            churn_rate: 0.1,
+            count: 10_000,
+            seed: 2,
+        };
+        let ds = w.build();
+        let distinct: HashSet<FlowKey> = ds.iter().map(|d| d.key).collect();
+        // Expected: 100 + 0.1 * 10_000 = 1100 births, minus flows that
+        // died before ever sending a packet.
+        assert!(
+            (800..=1200).contains(&distinct.len()),
+            "distinct flows {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn zero_churn_is_a_closed_population() {
+        let w = ChurnWorkload {
+            live_flows: 50,
+            churn_rate: 0.0,
+            count: 2_000,
+            seed: 3,
+        };
+        let distinct: HashSet<FlowKey> = w.build().iter().map(|d| d.key).collect();
+        assert!(distinct.len() <= 50);
+    }
+
+    #[test]
+    fn bursts_are_consecutive_runs() {
+        let w = BurstWorkload {
+            flows: 4,
+            max_burst: 64,
+            count: 2_000,
+            seed: 4,
+        };
+        let ds = w.build();
+        assert_eq!(ds.len(), 2_000);
+        // Count key changes between consecutive packets: with runs of
+        // mean length ~32 there are far fewer transitions than packets.
+        let transitions = ds.windows(2).filter(|w| w[0].key != w[1].key).count();
+        assert!(transitions < 400, "transitions {transitions}");
+    }
+
+    #[test]
+    fn generators_are_reproducible_and_seed_sensitive() {
+        let w = BurstWorkload {
+            flows: 16,
+            max_burst: 8,
+            count: 200,
+            seed: 7,
+        };
+        assert_eq!(w.build(), w.build());
+        let other = BurstWorkload { seed: 8, ..w };
+        assert_ne!(w.build(), other.build());
+    }
+
+    #[test]
+    fn sequence_numbers_monotone() {
+        let ds = ElephantMiceWorkload {
+            elephants: 2,
+            mice: 100,
+            elephant_share: 0.5,
+            count: 64,
+            seed: 5,
+        }
+        .build();
+        for (i, d) in ds.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+}

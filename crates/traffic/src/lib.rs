@@ -10,6 +10,9 @@
 //!   the hash stage.
 //! * [`workloads`]: generators for the paper's tests — the match-rate
 //!   sweep of Table II(B) and the hash patterns of Table II(A).
+//! * [`generators`]: scenario building-block generators — elephant/mice
+//!   mixes, flow churn at controlled birth/death rates, and burst trains
+//!   (the realistic half of the `flowlut-scenarios` matrix).
 //! * [`fabric`]: a synthetic stand-in for the 2012 European switch-fabric
 //!   trace behind Figure 6, calibrated so the new-flow ratio matches the
 //!   paper's anchor points (57 % at 1 k packets, ≈34 % at 10 k, <10 % at
@@ -38,6 +41,7 @@
 
 mod descriptor;
 pub mod fabric;
+pub mod generators;
 mod key;
 pub mod linerate;
 pub mod shard;

@@ -39,6 +39,7 @@ use flowlut_core::backend::FlowBackend;
 use flowlut_core::{ConfigError, FlowLutSim, HashCamTable, SimConfig, TableConfig};
 use flowlut_ddr3::{MemoryKind, MemorySpec, TimingPreset};
 use flowlut_engine::{EngineConfig, ExecutionMode, ShardedFlowLut};
+use flowlut_scenarios::{Scenario, ScenarioReport, ScenarioRunner};
 use flowlut_service::{FlowService, ServiceConfig};
 
 /// The related-work comparators [`Builder::baseline`] can construct,
@@ -367,6 +368,35 @@ impl Builder {
         cfg.shard = shard;
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Builds the selected backend and runs a declarative workload
+    /// [`Scenario`] against it, returning the run's [`ScenarioReport`].
+    /// One-stop entry point for the scenario matrix: any spec (builder
+    /// or TOML, see `flowlut_scenarios::toml`) against any backend this
+    /// builder can construct.
+    ///
+    /// ```
+    /// use flowlut::Builder;
+    /// use flowlut::core::TableConfig;
+    /// use flowlut::scenarios::Scenario;
+    ///
+    /// let scenario = Scenario::new("zipf-skew", 42).zipf(500, 0.98, 2_000);
+    /// let report = Builder::new()
+    ///     .table(TableConfig::test_small())
+    ///     .scenario(&scenario)?;
+    /// assert_eq!(report.offered, 2_000);
+    /// assert_eq!(report.drop_rate(), 0.0);
+    /// # Ok::<(), flowlut::core::ConfigError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the assembled backend configuration is invalid
+    /// (the same conditions as [`build`](Self::build)).
+    pub fn scenario(self, scenario: &Scenario) -> Result<ScenarioReport, ConfigError> {
+        let mut backend = self.build()?;
+        Ok(ScenarioRunner::new().run(scenario, backend.as_mut()))
     }
 
     /// Constructs `kind` at the configured table's capacity: the same

@@ -33,7 +33,11 @@
 //!   the scale-out path past a single channel's ≈44 Mdesc/s saturation;
 //! * [`service`] — the long-running flow service: the engine behind a
 //!   bounded multi-producer ingest queue with blocking backpressure,
-//!   plus checkpoint/restore warm restart and online N→2N rescale.
+//!   plus checkpoint/restore warm restart and online N→2N rescale;
+//! * [`scenarios`] — declarative workload scenarios: builder/TOML specs
+//!   composing Zipf, elephant/mice, churn, burst and adversarial
+//!   collision stages, executed against any backend by one generic
+//!   runner (or in one call via [`Builder::scenario`]).
 //!
 //! ## Quick start
 //!
@@ -90,6 +94,7 @@ pub use flowlut_core::backend::{
     Session, SessionError, SessionProgress,
 };
 pub use flowlut_core::{CheckpointError, ExpiryPolicy, FlowError, PressurePolicy, RescaleError};
+pub use flowlut_scenarios::{Scenario, ScenarioReport, ScenarioRunner, StageSpec};
 
 pub use flowlut_analyzer as analyzer;
 pub use flowlut_baselines as baselines;
@@ -98,5 +103,6 @@ pub use flowlut_core as core;
 pub use flowlut_ddr3 as ddr3;
 pub use flowlut_engine as engine;
 pub use flowlut_hash as hash;
+pub use flowlut_scenarios as scenarios;
 pub use flowlut_service as service;
 pub use flowlut_traffic as traffic;

@@ -442,6 +442,14 @@ fn required_keys(bench: &str) -> &'static [&'static str] {
             "results",
             "acceptance_expiry_sustained_ge_0p9x_off",
         ],
+        "scenarios" => &[
+            "bench",
+            "mode",
+            "packets_per_stage",
+            "results",
+            "acceptance_adversarial_cam_exercised",
+            "acceptance_baseline_degrades",
+        ],
         _ => &["bench", "mode", "results"],
     }
 }
@@ -466,6 +474,15 @@ fn required_row_keys(bench: &str) -> &'static [&'static str] {
             "sustained_mdesc_per_s",
             "expired_ttl",
             "pressure_evicted",
+        ],
+        "scenarios" => &[
+            "scenario",
+            "backend",
+            "mdesc_per_s",
+            "drop_rate",
+            "overflow_rate",
+            "cam_spills",
+            "cam_high_water",
         ],
         _ => &["shards", "completed"],
     }
@@ -568,6 +585,7 @@ mod tests {
             "BENCH_parallel.json",
             "BENCH_memory.json",
             "BENCH_service.json",
+            "BENCH_scenarios.json",
         ] {
             let text = std::fs::read_to_string(format!("{root}/../{name}")).unwrap();
             assert_eq!(check_bench_schema(name, &text), vec![], "{name}");
@@ -705,6 +723,27 @@ mod tests {
         assert!(v.iter().any(|x| x
             .msg
             .contains("results[0] is missing key `pressure_evicted`")));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn dropped_scenarios_schema_key_flagged() {
+        // Seeded violation: a scenarios snapshot missing one acceptance
+        // key and one per-row rate key must fail on both counts.
+        let text = r#"{"bench": "scenarios", "mode": "quick",
+            "packets_per_stage": 3000,
+            "acceptance_adversarial_cam_exercised": true,
+            "results": [{"scenario": "adversarial-flood",
+                "backend": "hashcam (this paper)", "mdesc_per_s": 1.8,
+                "drop_rate": 0.0, "cam_spills": 16,
+                "cam_high_water": 0}]}"#;
+        let v = check_bench_schema("BENCH_scenarios.json", text);
+        assert!(v.iter().any(|x| x
+            .msg
+            .contains("missing schema key `acceptance_baseline_degrades`")));
+        assert!(v
+            .iter()
+            .any(|x| x.msg.contains("results[0] is missing key `overflow_rate`")));
         assert_eq!(v.len(), 2);
     }
 
