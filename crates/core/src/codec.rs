@@ -17,11 +17,30 @@ use flowlut_traffic::FlowKey;
 /// Panics if a key does not fit its slot (`key.len() + 1 > slot_bytes`)
 /// or if `total_len < slots.len() * slot_bytes`.
 pub fn serialize_bucket(slots: &[Option<FlowKey>], slot_bytes: usize, total_len: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    serialize_bucket_into(&mut out, slots, slot_bytes, total_len);
+    out
+}
+
+/// [`serialize_bucket`] into a caller-provided buffer: `out` is cleared
+/// and refilled, so a steady-state writer (the simulator's DLU) reuses
+/// one allocation across buckets instead of allocating per write.
+///
+/// # Panics
+///
+/// Same contract as [`serialize_bucket`].
+pub fn serialize_bucket_into(
+    out: &mut Vec<u8>,
+    slots: &[Option<FlowKey>],
+    slot_bytes: usize,
+    total_len: usize,
+) {
     assert!(
         total_len >= slots.len() * slot_bytes,
         "bucket byte budget too small"
     );
-    let mut out = vec![0u8; total_len];
+    out.clear();
+    out.resize(total_len, 0u8);
     for (i, slot) in slots.iter().enumerate() {
         if let Some(key) = slot {
             let k = key.as_bytes();
@@ -35,7 +54,6 @@ pub fn serialize_bucket(slots: &[Option<FlowKey>], slot_bytes: usize, total_len:
             out[base + 1..base + 1 + k.len()].copy_from_slice(k);
         }
     }
-    out
 }
 
 /// Parses a serialised bucket back into slots.

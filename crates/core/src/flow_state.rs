@@ -163,14 +163,28 @@ impl FlowStateStore {
     /// the record together with the table entry — keeping record store
     /// and table atomically consistent under in-flight traffic.
     pub fn idle_candidates(&self, now_ns: u64, timeout_ns: u64) -> Vec<(FlowId, FlowRecord)> {
-        let mut out: Vec<(FlowId, FlowRecord)> = self
-            .records
-            .iter()
-            .filter(|(_, r)| r.idle_ns(now_ns) > timeout_ns)
-            .map(|(&id, r)| (id, *r))
-            .collect();
-        out.sort_by_key(|(id, _)| *id);
+        let mut out = Vec::new();
+        self.idle_candidates_into(now_ns, timeout_ns, &mut out);
         out
+    }
+
+    /// [`idle_candidates`](Self::idle_candidates) into a caller-provided
+    /// buffer (cleared and refilled), so the periodic housekeeping scan
+    /// reuses one allocation across invocations. Same deterministic ID
+    /// order (the record store iterates in ID order).
+    pub fn idle_candidates_into(
+        &self,
+        now_ns: u64,
+        timeout_ns: u64,
+        out: &mut Vec<(FlowId, FlowRecord)>,
+    ) {
+        out.clear();
+        out.extend(
+            self.records
+                .iter()
+                .filter(|(_, r)| r.idle_ns(now_ns) > timeout_ns)
+                .map(|(&id, r)| (id, *r)),
+        );
     }
 
     /// The housekeeping scan: removes every record idle for longer than
@@ -206,17 +220,31 @@ impl FlowStateStore {
         cursor: Option<FlowId>,
         stride: usize,
     ) -> (Vec<(FlowId, FlowRecord)>, Option<FlowId>) {
+        let mut out = Vec::new();
+        let next = self.scan_after_into(cursor, stride, &mut out);
+        (out, next)
+    }
+
+    /// [`scan_after`](Self::scan_after) into a caller-provided buffer
+    /// (cleared and refilled), so per-cycle incremental scans reuse one
+    /// allocation. Returns the cursor to resume from.
+    pub fn scan_after_into(
+        &self,
+        cursor: Option<FlowId>,
+        stride: usize,
+        out: &mut Vec<(FlowId, FlowRecord)>,
+    ) -> Option<FlowId> {
         let range = match cursor {
             Some(c) => self.records.range((Bound::Excluded(c), Bound::Unbounded)),
             None => self.records.range(..),
         };
-        let out: Vec<(FlowId, FlowRecord)> = range.take(stride).map(|(&id, r)| (id, *r)).collect();
-        let next = if out.len() < stride {
+        out.clear();
+        out.extend(range.take(stride).map(|(&id, r)| (id, *r)));
+        if out.len() < stride {
             None
         } else {
             out.last().map(|(id, _)| *id)
-        };
-        (out, next)
+        }
     }
 }
 

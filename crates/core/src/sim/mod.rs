@@ -187,6 +187,18 @@ pub struct FlowLutSim {
     now_sys: u64,
     stats: SimStats,
     last_completion_cycle: u64,
+    // Steady-state scratch (reused across cycles so the hot path stays
+    // allocation-free; pure transients, never part of simulator state).
+    /// Per-tick memory-completion staging buffer.
+    completions_scratch: Vec<(usize, Completion)>,
+    /// Flow Match bucket-assembly byte buffer.
+    match_bytes: Vec<u8>,
+    /// Recycled `ReadAssembly::parts` buffers.
+    parts_pool: Vec<Vec<Option<Vec<u8>>>>,
+    /// DLU bucket-serialisation buffer.
+    write_buf: Vec<u8>,
+    /// Lifecycle/housekeeping scan batch buffer.
+    scan_scratch: Vec<(FlowId, FlowRecord)>,
 }
 
 impl FlowLutSim {
@@ -234,6 +246,11 @@ impl FlowLutSim {
             now_sys: 0,
             stats: SimStats::default(),
             last_completion_cycle: 0,
+            completions_scratch: Vec::new(),
+            match_bytes: Vec::new(),
+            parts_pool: Vec::new(),
+            write_buf: Vec::new(),
+            scan_scratch: Vec::new(),
             bursts_per_bucket,
             burst_bytes,
             mem_ticks_per_sys,
@@ -460,8 +477,10 @@ impl FlowLutSim {
         self.now_sys += 1;
 
         // 1. Memory clocks (model-specific ratio per system cycle,
-        //    both paths).
-        let mut completions: Vec<(usize, Completion)> = Vec::new();
+        //    both paths). The staging buffer is a reused scratch field:
+        //    it must be out of `self` while completions are handled
+        //    (handle_mem_completion takes `&mut self`).
+        let mut completions = std::mem::take(&mut self.completions_scratch);
         for p in 0..2 {
             for _ in 0..self.mem_ticks_per_sys {
                 for c in self.paths[p].ctrl.tick() {
@@ -470,9 +489,10 @@ impl FlowLutSim {
             }
         }
         // 2. Flow Match / write retirement.
-        for (p, c) in completions {
+        for (p, c) in completions.drain(..) {
             self.handle_mem_completion(p, c);
         }
+        self.completions_scratch = completions;
         // 3. Housekeeping scan.
         if self.cfg.housekeeping_period_sys > 0
             && self
@@ -555,12 +575,16 @@ impl FlowLutSim {
     /// The Flow Match block: compare the assembled bucket against the
     /// descriptor's key; on LU1 miss redirect to the other path, on LU2
     /// miss raise an insertion.
-    fn flow_match(&mut self, a: ReadAssembly) {
-        let bytes: Vec<u8> = a
-            .parts
-            .into_iter()
-            .flat_map(|p| p.expect("assembly complete"))
-            .collect();
+    fn flow_match(&mut self, mut a: ReadAssembly) {
+        let mut bytes = std::mem::take(&mut self.match_bytes);
+        bytes.clear();
+        for part in &a.parts {
+            bytes.extend_from_slice(part.as_deref().expect("assembly complete"));
+        }
+        // Recycle the parts buffer for the next issue_bucket_read.
+        let mut parts = std::mem::take(&mut a.parts);
+        parts.clear();
+        self.parts_pool.push(parts);
         let ds = &self.descs[a.desc];
         let key = ds.desc.key;
         let k = usize::from(self.cfg.table.entries_per_bucket);
@@ -600,6 +624,7 @@ impl FlowLutSim {
                 }
             },
         }
+        self.match_bytes = bytes;
     }
 
     fn complete(&mut self, desc: usize, via: ResolvedVia, fid: Option<FlowId>) {
@@ -774,12 +799,13 @@ impl FlowLutSim {
 
     fn housekeeping(&mut self) {
         let now_ns = (self.now_sys as f64 * self.cfg.sys_period_ns()) as u64;
-        for (_, record) in self
-            .flow_state
-            .idle_candidates(now_ns, self.cfg.flow_timeout_ns)
-        {
+        let mut batch = std::mem::take(&mut self.scan_scratch);
+        self.flow_state
+            .idle_candidates_into(now_ns, self.cfg.flow_timeout_ns, &mut batch);
+        for (_, record) in batch.drain(..) {
             self.del_q.push_back(DelReq::Expire(record.key));
         }
+        self.scan_scratch = batch;
     }
 
     /// One stride of the incremental TTL scan ([`ExpiryPolicy`]): visits
@@ -793,11 +819,11 @@ impl FlowLutSim {
         let Some(policy) = self.cfg.expiry else {
             return;
         };
-        let (batch, next) = self
-            .flow_state
-            .scan_after(self.expiry_cursor, policy.scan_stride);
-        self.expiry_cursor = next;
-        for (_, record) in batch {
+        let mut batch = std::mem::take(&mut self.scan_scratch);
+        self.expiry_cursor =
+            self.flow_state
+                .scan_after_into(self.expiry_cursor, policy.scan_stride, &mut batch);
+        for (_, record) in batch.drain(..) {
             if self.now_sys.saturating_sub(record.last_touch_sys) <= policy.idle_timeout_cycles {
                 continue;
             }
@@ -809,6 +835,7 @@ impl FlowLutSim {
             self.lifecycle_pending.insert(record.key);
             self.del_q.push_back(DelReq::ExpireTtl(record.key));
         }
+        self.scan_scratch = batch;
     }
 
     /// One batch of the occupancy-pressure scan ([`PressurePolicy`]):
@@ -825,12 +852,12 @@ impl FlowLutSim {
         if self.table.occupancy().cam < u64::from(policy.cam_high_water) {
             return;
         }
-        let (batch, next) = self
-            .flow_state
-            .scan_after(self.pressure_cursor, policy.scan_batch);
-        self.pressure_cursor = next;
+        let mut batch = std::mem::take(&mut self.scan_scratch);
+        self.pressure_cursor =
+            self.flow_state
+                .scan_after_into(self.pressure_cursor, policy.scan_batch, &mut batch);
         let coldest = batch
-            .into_iter()
+            .drain(..)
             .filter(|(_, r)| {
                 !self.inflight_keys.contains(&r.key) && !self.lifecycle_pending.contains(&r.key)
             })
@@ -839,6 +866,7 @@ impl FlowLutSim {
             self.lifecycle_pending.insert(record.key);
             self.del_q.push_back(DelReq::Evict(record.key));
         }
+        self.scan_scratch = batch;
     }
 
     /// Queues a lifecycle event for [`FlowPipeline::poll_events`],
@@ -1008,8 +1036,8 @@ impl FlowLutSim {
     fn coldest_candidate(&self, b1: u32, b2: u32) -> Option<FlowKey> {
         let mut best: Option<(u64, FlowKey)> = None;
         for (path, bucket) in [(PathId::A, b1), (PathId::B, b2)] {
-            for slot in self.table.bucket_slots(path, bucket) {
-                let Some(key) = slot else { continue };
+            for slot in self.table.bucket_slots_ref(path, bucket).unwrap_or(&[]) {
+                let Some(key) = *slot else { continue };
                 if self.inflight_keys.contains(&key) {
                     continue;
                 }
@@ -1058,16 +1086,22 @@ impl FlowLutSim {
         }
         let p = &mut self.paths[path];
         // Coalesce intents per bucket: one write retires them all.
-        let mut covers: HashMap<u32, u32> = HashMap::new();
-        for bucket in p.bwr_pending.drain(..) {
-            *covers.entry(bucket).or_insert(0) += 1;
-        }
-        p.bwr_first_cycle = None;
-        let mut buckets: Vec<(u32, u32)> = covers.into_iter().collect();
-        buckets.sort_unstable(); // deterministic release order
-        for (bucket, covers) in buckets {
+        // Sort then run-length encode in place — same ascending-bucket
+        // release order as the former map-and-sort, without the
+        // per-release map and pair vector.
+        p.bwr_pending.sort_unstable();
+        let mut i = 0;
+        while i < p.bwr_pending.len() {
+            let bucket = p.bwr_pending[i];
+            let mut covers = 0u32;
+            while i < p.bwr_pending.len() && p.bwr_pending[i] == bucket {
+                covers += 1;
+                i += 1;
+            }
             p.write_q.push_back(WriteIntent { bucket, covers });
         }
+        p.bwr_pending.clear();
+        p.bwr_first_cycle = None;
     }
 
     /// The DLU: moves held writes and reads into the memory controller,
@@ -1124,6 +1158,10 @@ impl FlowLutSim {
     fn issue_bucket_read(&mut self, path: usize, r: ReadIntent) {
         let asm = self.next_asm_id;
         self.next_asm_id += 1;
+        // Reuse a retired assembly's parts buffer when one is pooled
+        // (pooled buffers are cleared; resize refills with `None`).
+        let mut parts = self.parts_pool.pop().unwrap_or_default();
+        parts.resize(self.bursts_per_bucket as usize, None);
         self.assemblies.insert(
             asm,
             ReadAssembly {
@@ -1131,7 +1169,7 @@ impl FlowLutSim {
                 stage: r.stage,
                 path,
                 bucket: r.bucket,
-                parts: vec![None; self.bursts_per_bucket as usize],
+                parts,
                 got: 0,
             },
         );
@@ -1150,9 +1188,13 @@ impl FlowLutSim {
     }
 
     fn issue_bucket_write(&mut self, path: usize, w: WriteIntent) {
-        let slots = self.table.bucket_slots(PathId::from_index(path), w.bucket);
         let total = self.bursts_per_bucket as usize * self.burst_bytes;
-        let bytes = codec::serialize_bucket(&slots, self.cfg.table.entry_slot_bytes, total);
+        let mut bytes = std::mem::take(&mut self.write_buf);
+        let slots = self
+            .table
+            .bucket_slots_ref(PathId::from_index(path), w.bucket)
+            .unwrap_or(&[]);
+        codec::serialize_bucket_into(&mut bytes, slots, self.cfg.table.entry_slot_bytes, total);
         for j in 0..self.bursts_per_bucket {
             let id = self.next_mem_id;
             self.next_mem_id += 1;
@@ -1175,6 +1217,7 @@ impl FlowLutSim {
                 .expect("DLU checked controller room");
             self.stats.writes_issued += 1;
         }
+        self.write_buf = bytes;
     }
 }
 

@@ -616,10 +616,16 @@ impl HashCamTable {
 
     /// The slots of a bucket (all-`None` for never-touched buckets).
     pub fn bucket_slots(&self, path: PathId, bucket: u32) -> Bucket {
-        self.mems[path.index()]
-            .get(&bucket)
-            .cloned()
+        self.bucket_slots_ref(path, bucket)
+            .map(<[Option<FlowKey>]>::to_vec)
             .unwrap_or_else(|| vec![None; usize::from(self.cfg.entries_per_bucket)])
+    }
+
+    /// Borrowing variant of [`bucket_slots`](Self::bucket_slots):
+    /// `None` for never-touched buckets (every slot empty — DRAM's
+    /// all-zero reset state), so steady-state readers never allocate.
+    pub fn bucket_slots_ref(&self, path: PathId, bucket: u32) -> Option<&[Option<FlowKey>]> {
+        self.mems[path.index()].get(&bucket).map(Vec::as_slice)
     }
 
     /// Iterates over every resident key with its location.

@@ -1,0 +1,146 @@
+//! Offline shim of the `stats_alloc` crate surface used by this
+//! workspace: a [`GlobalAlloc`] wrapper that counts heap operations as
+//! they pass through to the wrapped allocator.
+//!
+//! Mirrors the upstream names ([`StatsAlloc`], [`INSTRUMENTED_SYSTEM`],
+//! [`Stats`]) for the subset the workspace needs. Two deliberate
+//! differences from upstream, both in service of the allocation-ratchet
+//! test (`tests/alloc_ratchet.rs` at the workspace root):
+//!
+//! * [`StatsAlloc::thread_allocations`] is a shim extension reporting a
+//!   **per-thread** allocation count. The ratchet pins exact allocation
+//!   numbers, and a process-global count (upstream's only mode) would
+//!   absorb allocations from unrelated test-harness threads and turn
+//!   the pin flaky. The per-thread counter is a `Cell` in const-initialised
+//!   thread-local storage, so reading and bumping it never allocates
+//!   (no lazy TLS initialisation inside the allocator).
+//! * [`Stats`] carries the operation counts only, not the byte totals —
+//!   nothing in the workspace reads bytes.
+//!
+//! Counting is wait-free: global totals are `Relaxed` atomics (they are
+//! statistics, not synchronisation), and the per-thread count is plain
+//! `Cell` arithmetic. During thread teardown, when TLS is already
+//! destroyed, per-thread counting silently no-ops (`try_with`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Heap allocations (`alloc`, `alloc_zeroed`, growth `realloc`)
+    /// performed by the current thread since it started.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-global instrumented wrapper around [`System`], ready to be
+/// installed with `#[global_allocator]`.
+pub static INSTRUMENTED_SYSTEM: StatsAlloc<System> = StatsAlloc::new(System);
+
+/// Cumulative heap-operation counts, as observed by [`StatsAlloc::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Calls to `alloc` / `alloc_zeroed`.
+    pub allocations: u64,
+    /// Calls to `dealloc`.
+    pub deallocations: u64,
+    /// Calls to `realloc`.
+    pub reallocations: u64,
+}
+
+/// A counting [`GlobalAlloc`] wrapper: forwards every operation to the
+/// inner allocator and tallies it, globally and per-thread.
+pub struct StatsAlloc<T: GlobalAlloc> {
+    inner: T,
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    reallocations: AtomicU64,
+}
+
+impl<T: GlobalAlloc> StatsAlloc<T> {
+    /// Wraps `inner` with fresh counters.
+    pub const fn new(inner: T) -> StatsAlloc<T> {
+        StatsAlloc {
+            inner,
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Process-global operation counts since the wrapper was installed.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            deallocations: self.deallocations.load(Ordering::Relaxed),
+            reallocations: self.reallocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shim extension: heap allocations (including `realloc` growth)
+    /// performed by the **calling thread** since it started. Subtract
+    /// two readings to count the allocations of a code region that runs
+    /// entirely on one thread.
+    pub fn thread_allocations(&self) -> u64 {
+        THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+}
+
+unsafe impl<T: GlobalAlloc> GlobalAlloc for StatsAlloc<T> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        self.inner.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        self.inner.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.inner.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        self.inner.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as #[global_allocator] here — these tests exercise
+    // the wrapper directly so they stay meaningful regardless of what
+    // the enclosing test binary installs.
+    #[test]
+    fn counts_alloc_and_dealloc() {
+        let a = StatsAlloc::new(System);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = a.realloc(p, layout, 128);
+            assert!(!p2.is_null());
+            a.dealloc(p2, Layout::from_size_align(128, 8).unwrap());
+        }
+        let s = a.stats();
+        assert_eq!((s.allocations, s.reallocations, s.deallocations), (1, 1, 1));
+    }
+
+    #[test]
+    fn thread_counter_tracks_direct_calls() {
+        let a = StatsAlloc::new(System);
+        let before = a.thread_allocations();
+        let layout = Layout::from_size_align(32, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.thread_allocations(), before + 1);
+    }
+}

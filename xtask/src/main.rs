@@ -1,19 +1,33 @@
-//! Workspace task runner: `cargo xtask lint`.
+//! Workspace task runner: `cargo xtask lint` and `cargo xtask analyze`.
 //!
-//! Runs the repo-specific static-analysis pass described in
-//! DESIGN.md §Concurrency model & static analysis: crate-root hygiene
-//! attributes, the `flowlut_core::sync` facade boundary, `// ordering:`
+//! `lint` runs the repo-specific static-analysis pass described in
+//! DESIGN.md §Static analysis: crate-root hygiene attributes, the
+//! token-accurate `flowlut_core::sync` facade boundary, `// ordering:`
 //! justifications on every atomic site, the hot-path no-panic rule
-//! (with `xtask/lint_allow.txt` as the vetted-exception list), and the
-//! committed `BENCH_*.json` schema. Pure `std` — no external
-//! dependencies — so it runs in the offline build like everything else.
+//! (with `xtask/lint_allow.txt` as the vetted-exception list, whose
+//! entries must all stay live), and the committed `BENCH_*.json`
+//! schema.
 //!
-//! The rules themselves live in [`lint`] as pure functions over file
-//! contents; this binary only discovers files and reports.
+//! `analyze` runs the call-graph-aware pass on top of the same token
+//! lexer: it recovers `fn`/`impl` items and a conservative call graph
+//! across all workspace crates, then reports every allocation and
+//! panic site transitively reachable from the steady-state entry
+//! points (`FlowLutSim::tick`, `Session::offer`, `ShardedFlowLut::tick`,
+//! `FlowService::pump`, and the `FlowPipeline` impls' `push`/`poll`),
+//! minus the vetted cold-path/site allow-list in
+//! `xtask/analyze_allow.txt`. `--json <path>` additionally writes a
+//! machine-readable report (CI uploads it as an artifact).
+//!
+//! Pure `std` — no external dependencies — so both commands run in the
+//! offline build like everything else. The rules themselves live in
+//! [`lint`] and [`analyze`] as pure functions over file contents; this
+//! binary only discovers files and reports.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod analyze;
+mod lexer;
 mod lint;
 
 use std::path::{Path, PathBuf};
@@ -41,9 +55,53 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("analyze") => {
+            let mut json_out: Option<PathBuf> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--json" => match args.next() {
+                        Some(p) => json_out = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("xtask analyze: --json needs a path");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("xtask analyze: unknown flag {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = repo_root();
+            let res = run_analyze(&root);
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, analyze::report_json(&res)) {
+                    eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            for f in &res.findings {
+                eprintln!("{f}");
+            }
+            println!(
+                "xtask analyze: {} files, {} fns, {} call edges, {} reachable from {} entry points; {} vetted hot site(s), {} finding(s)",
+                res.files,
+                res.functions,
+                res.edges,
+                res.reachable,
+                analyze::ENTRY_POINTS.len(),
+                res.vetted.len(),
+                res.findings.len()
+            );
+            if res.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         other => {
             eprintln!(
-                "usage: cargo xtask lint   (got {:?})",
+                "usage: cargo xtask <lint | analyze [--json <path>]>   (got {:?})",
                 other.unwrap_or("<nothing>")
             );
             ExitCode::from(2)
@@ -62,8 +120,8 @@ fn repo_root() -> PathBuf {
 /// Crates whose sources count as hot-path for the no-panic rule.
 const HOT_PATH_CRATES: [&str; 4] = ["engine", "core", "cam", "hash"];
 
-/// Runs every rule over the workspace; returns the number of files
-/// scanned and all violations found.
+/// Runs every lint rule over the workspace; returns the number of
+/// files scanned and all violations found.
 fn run_lint(root: &Path) -> (usize, Vec<Violation>) {
     let mut files = 0usize;
     let mut out: Vec<Violation> = Vec::new();
@@ -84,7 +142,9 @@ fn run_lint(root: &Path) -> (usize, Vec<Violation>) {
         out.extend(lint::check_crate_attrs(&rel(root, &path), &read(&path)));
     }
 
-    // Per-file source rules over crates/*/src.
+    // Per-file source rules over crates/*/src; collect the sources so
+    // the allow-list liveness check can scan them afterwards.
+    let mut scanned: Vec<(String, String)> = Vec::new();
     for dir in crate_dirs(root) {
         let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default();
         let hot = HOT_PATH_CRATES.contains(&crate_name);
@@ -102,8 +162,12 @@ fn run_lint(root: &Path) -> (usize, Vec<Violation>) {
             if hot {
                 out.extend(lint::check_no_panic(&rp, &src, &allowlist));
             }
+            scanned.push((rp, src));
         }
     }
+
+    // stale-allow: every vetted exception must still match a live site.
+    out.extend(lint::check_allow_liveness(&allowlist, &scanned));
 
     // bench-schema: committed perf snapshots at the repo root.
     let mut bench_files: Vec<PathBuf> = std::fs::read_dir(root)
@@ -122,6 +186,47 @@ fn run_lint(root: &Path) -> (usize, Vec<Violation>) {
     }
 
     (files, out)
+}
+
+/// Runs the call-graph analyses over every non-test source in
+/// `crates/*/src`, with the allow-lists read from `xtask/`.
+fn run_analyze(root: &Path) -> analyze::AnalyzeResult {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for dir in crate_dirs(root) {
+        for path in rust_files(&dir.join("src")) {
+            let rp = rel(root, &path);
+            if lint::is_test_file(&rp) {
+                continue;
+            }
+            sources.push((rp, read(&path)));
+        }
+    }
+    let allow = analyze::parse_analyze_allow(&read(&root.join("xtask/analyze_allow.txt")));
+    let panic_allow = lint::parse_allowlist(&read(&root.join("xtask/lint_allow.txt")));
+    let mut res = analyze::analyze_sources(&sources, analyze::ENTRY_POINTS, &allow, &panic_allow);
+    // The token-accurate facade/ordering rules are part of this pass
+    // too (ISSUE rule 3); fold their violations in as findings.
+    for (rp, src) in &sources {
+        let mut extra = Vec::new();
+        if rp.starts_with("crates/engine/src") {
+            extra.extend(lint::check_sync_facade(rp, src));
+        }
+        extra.extend(lint::check_ordering_comments(rp, src));
+        for v in extra {
+            res.findings.push(analyze::Finding {
+                file: v.file,
+                line: v.line,
+                rule: if v.rule == "sync-facade" {
+                    "sync-facade"
+                } else {
+                    "ordering-doc"
+                },
+                chain: String::new(),
+                msg: v.msg,
+            });
+        }
+    }
+    res
 }
 
 /// The workspace's crate directories (`crates/*`), sorted.
@@ -180,6 +285,34 @@ mod tests {
             violations.is_empty(),
             "workspace lint violations:\n{}",
             violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Same pin for the call-graph pass: the committed workspace must
+    /// analyze clean, with a plausibly-sized item model underneath
+    /// (guards against the extractor silently recovering nothing).
+    #[test]
+    fn workspace_analyzes_clean() {
+        let res = run_analyze(&repo_root());
+        assert!(res.files > 30, "suspiciously few files: {}", res.files);
+        assert!(
+            res.functions > 300,
+            "suspiciously few fns recovered: {}",
+            res.functions
+        );
+        assert!(
+            res.reachable > 20,
+            "suspiciously small hot set: {}",
+            res.reachable
+        );
+        assert!(
+            res.findings.is_empty(),
+            "workspace analyze findings:\n{}",
+            res.findings
                 .iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
